@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 4: LLC misses per 1000 instructions on the SCMP (8 cores),
+ * 64 B lines, cache sizes 4 MB - 256 MB. One workload execution feeds
+ * all seven passive Dragonhead instances.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "harness/report.hh"
+#include "harness/sweep_runner.hh"
+
+using namespace cosim;
+
+int
+main(int argc, char** argv)
+{
+    BenchOptions opts = parseBenchArgs(
+        argc, argv,
+        "Figure 4: LLC MPKI vs cache size on the 8-core SCMP");
+    printBanner("Figure 4: LLC miss per 1000 instructions on SCMP "
+                "(8 cores)", opts);
+    ensureOutputDir(opts.outDir);
+
+    SweepRunner runner(opts);
+    FigureData fig = runner.runCacheSizeFigure("Figure 4 (SCMP)",
+                                               presets::scmp());
+    std::printf("\n%s\n", fig.render("LLC misses / 1000 inst").c_str());
+    fig.writeCsv(opts.outDir + "/fig4_scmp.csv");
+    std::printf("CSV: %s\n", (opts.outDir + "/fig4_scmp.csv").c_str());
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 5: LLC misses per 1000 instructions on the MCMP (16 cores),
+ * 64 B lines, cache sizes 4 MB - 256 MB. One workload execution feeds
+ * all seven passive Dragonhead instances.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "harness/report.hh"
+#include "harness/sweep_runner.hh"
+
+using namespace cosim;
+
+int
+main(int argc, char** argv)
+{
+    BenchOptions opts = parseBenchArgs(
+        argc, argv,
+        "Figure 5: LLC MPKI vs cache size on the 16-core MCMP");
+    printBanner("Figure 5: LLC miss per 1000 instructions on MCMP "
+                "(16 cores)", opts);
+    ensureOutputDir(opts.outDir);
+
+    SweepRunner runner(opts);
+    FigureData fig = runner.runCacheSizeFigure("Figure 5 (MCMP)",
+                                               presets::mcmp());
+    std::printf("\n%s\n", fig.render("LLC misses / 1000 inst").c_str());
+    fig.writeCsv(opts.outDir + "/fig5_mcmp.csv");
+    std::printf("CSV: %s\n", (opts.outDir + "/fig5_mcmp.csv").c_str());
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 6: LLC misses per 1000 instructions on the LCMP (32 cores),
+ * 64 B lines, cache sizes 4 MB - 256 MB. One workload execution feeds
+ * all seven passive Dragonhead instances.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "harness/report.hh"
+#include "harness/sweep_runner.hh"
+
+using namespace cosim;
+
+int
+main(int argc, char** argv)
+{
+    BenchOptions opts = parseBenchArgs(
+        argc, argv,
+        "Figure 6: LLC MPKI vs cache size on the 32-core LCMP");
+    printBanner("Figure 6: LLC miss per 1000 instructions on LCMP "
+                "(32 cores)", opts);
+    ensureOutputDir(opts.outDir);
+
+    SweepRunner runner(opts);
+    FigureData fig = runner.runCacheSizeFigure("Figure 6 (LCMP)",
+                                               presets::lcmp());
+    std::printf("\n%s\n", fig.render("LLC misses / 1000 inst").c_str());
+    fig.writeCsv(opts.outDir + "/fig6_lcmp.csv");
+    std::printf("CSV: %s\n", (opts.outDir + "/fig6_lcmp.csv").c_str());
+    return 0;
+}

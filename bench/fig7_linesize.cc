@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 7: line-size sensitivity on the LCMP (32 cores) with a 32 MB
+ * LLC, line sizes 64 B - 4 KB.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "harness/report.hh"
+#include "harness/sweep_runner.hh"
+
+using namespace cosim;
+
+int
+main(int argc, char** argv)
+{
+    BenchOptions opts = parseBenchArgs(
+        argc, argv,
+        "Figure 7: LLC MPKI vs line size (32 MB LLC, 32-core LCMP)");
+    printBanner("Figure 7: Line size sensitivity on LCMP with 32MB LLC",
+                opts);
+    ensureOutputDir(opts.outDir);
+
+    SweepRunner runner(opts);
+    FigureData fig = runner.runLineSizeFigure("Figure 7 (LCMP, 32MB)",
+                                              presets::lcmp());
+    std::printf("\n%s\n", fig.render("LLC misses / 1000 inst").c_str());
+    fig.writeCsv(opts.outDir + "/fig7_linesize.csv");
+    std::printf("CSV: %s\n", (opts.outDir + "/fig7_linesize.csv").c_str());
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 8: performance gain of hardware prefetching on a 16-way
+ * Xeon-like SMP, for serial and 16-thread runs of every workload.
+ * Speedup = cycles(prefetch off) / cycles(prefetch on) - 1, using the
+ * slowest core's cycles (parallel wall clock).
+ */
+
+#include <cstdio>
+
+#include "base/csv.hh"
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "base/table.hh"
+#include "core/experiment.hh"
+#include "harness/report.hh"
+#include "workloads/workload_factory.hh"
+
+using namespace cosim;
+
+namespace {
+
+Cycles
+runCycles(const std::string& name, unsigned threads, bool prefetch,
+          const BenchOptions& opts, bool& verified, double& pf_admit)
+{
+    PlatformParams platform = presets::unisysSmp(16, prefetch);
+    VirtualPlatform vp(platform);
+    auto wl = createWorkload(name, opts.scale);
+    WorkloadConfig cfg;
+    cfg.nThreads = threads;
+    cfg.scale = opts.scale;
+    cfg.seed = opts.seed;
+    RunResult r = vp.run(*wl, cfg);
+    verified = r.verified;
+    pf_admit = r.prefetch.candidates == 0
+        ? 1.0
+        : static_cast<double>(r.prefetch.admitted) /
+              static_cast<double>(r.prefetch.candidates);
+    return r.maxCoreCycles;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    BenchOptions opts = parseBenchArgs(
+        argc, argv,
+        "Figure 8: hardware-prefetch speedup, serial and 16 threads");
+    printBanner("Figure 8: Performance gain of hardware prefetch", opts);
+    ensureOutputDir(opts.outDir);
+
+    TableWriter table("Figure 8 -- speedup from enabling the stride "
+                      "prefetcher");
+    table.setHeader({"Workload", "Serial gain", "16-thread gain",
+                     "16t prefetch admitted", "parallel>serial?"});
+    CsvWriter csv(opts.outDir + "/fig8_prefetch.csv");
+    csv.writeRow({"workload", "serial_gain_pct", "parallel_gain_pct",
+                  "parallel_admit_fraction"});
+
+    for (const std::string& name : opts.workloads) {
+        bool v1, v2, v3, v4;
+        double admit_serial, admit_par, dummy;
+        Cycles serial_off = runCycles(name, 1, false, opts, v1, dummy);
+        Cycles serial_on = runCycles(name, 1, true, opts, v2,
+                                     admit_serial);
+        Cycles par_off = runCycles(name, 16, false, opts, v3, dummy);
+        Cycles par_on = runCycles(name, 16, true, opts, v4, admit_par);
+        if (opts.strictVerify && !(v1 && v2 && v3 && v4))
+            fatal("%s failed self-verification", name.c_str());
+
+        double serial_gain =
+            100.0 * (static_cast<double>(serial_off) /
+                         static_cast<double>(serial_on) -
+                     1.0);
+        double par_gain =
+            100.0 * (static_cast<double>(par_off) /
+                         static_cast<double>(par_on) -
+                     1.0);
+
+        table.addRow({name, strFormat("%.1f%%", serial_gain),
+                      strFormat("%.1f%%", par_gain),
+                      strFormat("%.0f%%", 100.0 * admit_par),
+                      par_gain > serial_gain ? "yes" : "no"});
+        csv.writeNumericRow(name,
+                            {serial_gain, par_gain, admit_par});
+        std::printf("  %-9s serial %+6.1f%%  parallel %+6.1f%%\n",
+                    name.c_str(), serial_gain, par_gain);
+    }
+
+    std::printf("\n%s\n", table.renderAscii().c_str());
+    std::printf("Paper: all workloads gain (up to ~33%%); parallel gains "
+                "exceed serial except for\nSNP and MDS, whose demand "
+                "misses saturate the bus and starve the prefetcher.\n"
+                "CSV: %s\n", (opts.outDir + "/fig8_prefetch.csv").c_str());
+    return 0;
+}

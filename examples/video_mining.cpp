@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Video mining end to end: run the SHOT (cut detection) and VIEWTYPE
+ * (view classification) workloads on the synthesized clip, print what
+ * they mined, and compare their memory behaviour -- the two workloads
+ * whose per-thread private working sets make LLC demand scale linearly
+ * with the core count (Figures 4-6).
+ *
+ * Usage: video_mining [n_threads] [scale]     (default 4 threads, 0.2)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/units.hh"
+#include "core/cosim.hh"
+#include "core/experiment.hh"
+#include "workloads/shot.hh"
+#include "workloads/viewtype.hh"
+
+using namespace cosim;
+
+int
+main(int argc, char** argv)
+{
+    unsigned threads = argc > 1
+        ? static_cast<unsigned>(std::atoi(argv[1]))
+        : 4;
+    double scale = argc > 2 ? std::strtod(argv[2], nullptr) : 0.2;
+
+    CoSimParams params;
+    params.platform = presets::cmpPlatform("video", threads);
+    params.emulators.push_back(presets::llcConfig(8 * MiB, 64));
+    CoSimulation cosim(params);
+
+    WorkloadConfig cfg;
+    cfg.nThreads = threads;
+    cfg.scale = scale;
+
+    // --- SHOT: cut detection ---
+    ShotWorkload shot(ShotParams::scaled(scale));
+    std::printf("SHOT: detecting cuts in a %ux%u clip of %u frames on "
+                "%u threads...\n", shot.params().video.width,
+                shot.params().video.height, shot.params().video.nFrames,
+                threads);
+    RunResult rs = cosim.run(shot, cfg);
+
+    std::printf("  cuts detected at frames:");
+    for (unsigned f : shot.detectedCuts())
+        std::printf(" %u", f);
+    std::printf("\n  ground truth          :");
+    for (unsigned f : shot.expectedCuts())
+        std::printf(" %u", f);
+    std::printf("\n  verified=%s, LLC MPKI %.2f, %.1fM insts\n\n",
+                rs.verified ? "yes" : "NO",
+                cosim.emulator(0).results().mpki(),
+                static_cast<double>(rs.totalInsts) / 1e6);
+
+    // --- VIEWTYPE: view classification ---
+    ViewtypeWorkload view(ViewtypeParams::scaled(scale));
+    std::printf("VIEWTYPE: classifying %u key frames...\n",
+                view.params().nKeyframes);
+    RunResult rv = cosim.run(view, cfg);
+
+    unsigned shown = std::min(16u, view.params().nKeyframes);
+    for (unsigned k = 0; k < shown; ++k) {
+        std::printf("  keyframe %2u: %-11s (planted: %s)\n", k,
+                    synth::toString(view.classified()[k]),
+                    synth::toString(view.plantedView(k)));
+    }
+    if (shown < view.params().nKeyframes)
+        std::printf("  ... (%u more)\n",
+                    view.params().nKeyframes - shown);
+    std::printf("  accuracy %.0f%%, verified=%s, LLC MPKI %.2f\n\n",
+                100.0 * view.accuracy(), rv.verified ? "yes" : "NO",
+                cosim.emulator(0).results().mpki());
+
+    std::printf("Both workloads keep ~per-thread-private frame buffers, "
+                "so try more threads:\n  their aggregate working set -- "
+                "and the LLC miss rate -- grows with the core\n  count, "
+                "unlike the shared-structure workloads (SNP, MDS, "
+                "SVM-RFE).\n");
+    return (rs.verified && rv.verified) ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by caches and address mapping.
+ */
+
+#ifndef COSIM_BASE_BITOPS_HH
+#define COSIM_BASE_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace cosim {
+
+/** True iff @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Round @p a down to a multiple of power-of-two @p align. */
+constexpr Addr
+alignDown(Addr a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+/** Round @p a up to a multiple of power-of-two @p align. */
+constexpr Addr
+alignUp(Addr a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Extract bits [first, last] (inclusive, last >= first) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned last, unsigned first)
+{
+    std::uint64_t mask =
+        (last >= 63) ? ~std::uint64_t{0} : ((std::uint64_t{1} << (last + 1)) - 1);
+    return (v & mask) >> first;
+}
+
+} // namespace cosim
+
+#endif // COSIM_BASE_BITOPS_HH

@@ -1,0 +1,57 @@
+#include "base/csv.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace cosim {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path)
+{
+    fatal_if(!out_.is_open(), "cannot open CSV output file '%s'",
+             path.c_str());
+}
+
+std::string
+CsvWriter::escape(const std::string& field)
+{
+    bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string>& fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            out_ << ',';
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeNumericRow(const std::string& key,
+                           const std::vector<double>& values)
+{
+    std::vector<std::string> fields;
+    fields.reserve(values.size() + 1);
+    fields.push_back(key);
+    for (double v : values) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+        fields.emplace_back(buf);
+    }
+    writeRow(fields);
+}
+
+} // namespace cosim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal CSV writer used by the bench harness to persist figure series.
+ */
+
+#ifndef COSIM_BASE_CSV_HH
+#define COSIM_BASE_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cosim {
+
+/**
+ * Streams rows of string/numeric fields to a CSV file, quoting fields
+ * that contain separators. The file is flushed on destruction.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() if the file cannot be created. */
+    explicit CsvWriter(const std::string& path);
+
+    /** Write a header or data row of raw string fields. */
+    void writeRow(const std::vector<std::string>& fields);
+
+    /** Convenience: format doubles with full precision. */
+    void writeNumericRow(const std::string& key,
+                         const std::vector<double>& values);
+
+    const std::string& path() const { return path_; }
+
+  private:
+    static std::string escape(const std::string& field);
+
+    std::string path_;
+    std::ofstream out_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_BASE_CSV_HH

@@ -1,0 +1,92 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace cosim {
+
+namespace {
+
+void
+defaultHandler(LogLevel level, const std::string& msg)
+{
+    switch (level) {
+      case LogLevel::Info:
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+        break;
+      case LogLevel::Warn:
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        break;
+      case LogLevel::Fatal:
+        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+        break;
+      case LogLevel::Panic:
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+        break;
+    }
+}
+
+LogHandler currentHandler = defaultHandler;
+
+std::string
+vformat(const char* fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (n <= 0)
+        return std::string();
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+} // namespace
+
+LogHandler
+setLogHandler(LogHandler handler)
+{
+    LogHandler prev = currentHandler;
+    currentHandler = handler ? handler : defaultHandler;
+    return prev;
+}
+
+void
+logMessage(LogLevel level, const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    currentHandler(level, msg);
+}
+
+void
+panicImpl(const char* file, int line, const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    msg += " (" + std::string(file) + ":" + std::to_string(line) + ")";
+    // A test-installed handler may throw to regain control; the default
+    // handler returns, in which case we abort as gem5's panic() does.
+    currentHandler(LogLevel::Panic, msg);
+    std::abort();
+}
+
+void
+fatalImpl(const char* file, int line, const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    msg += " (" + std::string(file) + ":" + std::to_string(line) + ")";
+    currentHandler(LogLevel::Fatal, msg);
+    std::exit(1);
+}
+
+} // namespace cosim

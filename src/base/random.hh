@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * All synthetic data generation in the workloads is seeded explicitly so
+ * that every experiment is bit-for-bit reproducible across runs and hosts.
+ */
+
+#ifndef COSIM_BASE_RANDOM_HH
+#define COSIM_BASE_RANDOM_HH
+
+#include <cstdint>
+
+namespace cosim {
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+ * algorithm), wrapped in a small value-type class. Satisfies the needs of
+ * synthetic data generation; not a cryptographic generator.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection-free scaling. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Gaussian sample via Box-Muller. */
+    double nextGaussian(double mean = 0.0, double stddev = 1.0);
+
+    /**
+     * Sample from a bounded Zipf-like (power-law) distribution over
+     * [0, n): rank r has weight 1 / (r + 1)^s. Used for Kosarak-like
+     * transaction synthesis.
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double s);
+
+    /** Bernoulli draw with probability @p p. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpareGauss_ = false;
+    double spareGauss_ = 0.0;
+};
+
+} // namespace cosim
+
+#endif // COSIM_BASE_RANDOM_HH

@@ -1,0 +1,97 @@
+#include "base/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace cosim {
+namespace stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t n_buckets)
+    : lo_(lo), hi_(hi), buckets_(n_buckets, 0)
+{
+    fatal_if(hi <= lo, "histogram range [%f, %f) is empty", lo, hi);
+    fatal_if(n_buckets == 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+        auto idx = static_cast<std::size_t>((v - lo_) / width);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+    }
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+void
+Group::add(const std::string& stat_name, const Counter* counter)
+{
+    panic_if(counter == nullptr, "null counter registered as %s.%s",
+             name_.c_str(), stat_name.c_str());
+    counters_.emplace_back(stat_name, counter);
+}
+
+void
+Group::add(const std::string& stat_name, std::function<double()> formula)
+{
+    formulas_.emplace_back(stat_name, std::move(formula));
+}
+
+std::vector<std::pair<std::string, double>>
+Group::collect() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(counters_.size() + formulas_.size());
+    for (const auto& [stat_name, counter] : counters_)
+        out.emplace_back(stat_name, static_cast<double>(counter->value()));
+    for (const auto& [stat_name, formula] : formulas_)
+        out.emplace_back(stat_name, formula());
+    return out;
+}
+
+std::string
+Group::dump() const
+{
+    std::string out;
+    for (const auto& [stat_name, value] : collect()) {
+        char line[256];
+        std::snprintf(line, sizeof(line), "%s.%s %.6g\n", name_.c_str(),
+                      stat_name.c_str(), value);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace cosim

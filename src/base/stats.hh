@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, formulas
+ * evaluated at dump time, and fixed-bucket histograms, grouped per
+ * component (in the spirit of gem5's stats package, minus the
+ * registration machinery).
+ */
+
+#ifndef COSIM_BASE_STATS_HH
+#define COSIM_BASE_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cosim {
+namespace stats {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter& operator++() { ++value_; return *this; }
+    Counter& operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A histogram over a fixed linear bucket range, with overflow bucket. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the tracked range
+     * @param hi exclusive upper bound of the tracked range
+     * @param n_buckets number of equal-width buckets across [lo, hi)
+     */
+    Histogram(double lo, double hi, std::size_t n_buckets);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named collection of counters and derived formulas that can be dumped
+ * in a stable, human-readable order. Components own a Group and register
+ * their counters once at construction.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p stat_name. */
+    void add(const std::string& stat_name, const Counter* counter);
+
+    /** Register a formula evaluated lazily at dump time. */
+    void add(const std::string& stat_name, std::function<double()> formula);
+
+    const std::string& name() const { return name_; }
+
+    /** Evaluate every registered stat into (name, value) pairs. */
+    std::vector<std::pair<std::string, double>> collect() const;
+
+    /** Render "group.stat value" lines. */
+    std::string dump() const;
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, const Counter*>> counters_;
+    std::vector<std::pair<std::string, std::function<double()>>> formulas_;
+};
+
+/** Ratio helper that tolerates a zero denominator. */
+inline double
+safeRatio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+/** Misses-per-kilo-instruction helper used across the harness. */
+inline double
+perKiloInst(std::uint64_t events, std::uint64_t insts)
+{
+    return insts == 0 ? 0.0
+                      : 1000.0 * static_cast<double>(events) /
+                            static_cast<double>(insts);
+}
+
+} // namespace stats
+} // namespace cosim
+
+#endif // COSIM_BASE_STATS_HH

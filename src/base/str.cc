@@ -1,0 +1,81 @@
+#include "base/str.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace cosim {
+
+std::vector<std::string>
+split(const std::string& text, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string& text)
+{
+    std::size_t b = 0;
+    std::size_t e = text.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(text[b])) != 0)
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])) != 0)
+        --e;
+    return text.substr(b, e - b);
+}
+
+std::string
+toLower(const std::string& text)
+{
+    std::string out = text;
+    for (char& c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::string
+strFormat(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args);
+        out.resize(static_cast<std::size_t>(n));
+    }
+    va_end(args);
+    return out;
+}
+
+bool
+startsWith(const std::string& text, const std::string& prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+formatFixed(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+} // namespace cosim

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Small string helpers shared by the report writers and CLIs.
+ */
+
+#ifndef COSIM_BASE_STR_HH
+#define COSIM_BASE_STR_HH
+
+#include <string>
+#include <vector>
+
+namespace cosim {
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string& text, char sep);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string& text);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string& text);
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** True iff @p text begins with @p prefix. */
+bool startsWith(const std::string& text, const std::string& prefix);
+
+/** Fixed-point formatting with @p decimals digits, e.g. 3.14159 -> "3.14". */
+std::string formatFixed(double v, int decimals);
+
+} // namespace cosim
+
+#endif // COSIM_BASE_STR_HH

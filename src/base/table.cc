@@ -1,0 +1,125 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "base/logging.hh"
+
+namespace cosim {
+
+TableWriter::TableWriter(std::string title) : title_(std::move(title)) {}
+
+void
+TableWriter::setHeader(const std::vector<std::string>& header)
+{
+    panic_if(!rows_.empty(), "setHeader() after rows were added");
+    header_ = header;
+}
+
+void
+TableWriter::addRow(const std::vector<std::string>& row)
+{
+    panic_if(header_.empty(), "addRow() before setHeader()");
+    panic_if(row.size() != header_.size(),
+             "row width %zu does not match header width %zu", row.size(),
+             header_.size());
+    rows_.push_back(row);
+}
+
+bool
+TableWriter::looksNumeric(const std::string& s)
+{
+    if (s.empty())
+        return false;
+    bool digit_seen = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+            digit_seen = true;
+        } else if (c != '.' && c != '-' && c != '+' && c != '%' &&
+                   c != 'e' && c != 'E' && c != 'x') {
+            return false;
+        }
+    }
+    return digit_seen;
+}
+
+std::vector<std::size_t>
+TableWriter::columnWidths() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    return widths;
+}
+
+std::string
+TableWriter::renderAscii() const
+{
+    auto widths = columnWidths();
+
+    auto pad = [&](const std::string& s, std::size_t w, bool right) {
+        std::string out;
+        if (right)
+            out.append(w - s.size(), ' ');
+        out += s;
+        if (!right)
+            out.append(w - s.size(), ' ');
+        return out;
+    };
+
+    std::vector<bool> numeric(header_.size(), true);
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            if (!row[c].empty() && !looksNumeric(row[c]))
+                numeric[c] = false;
+
+    std::string sep = "+";
+    for (std::size_t w : widths)
+        sep += std::string(w + 2, '-') + "+";
+    sep += "\n";
+
+    std::string out;
+    if (!title_.empty())
+        out += title_ + "\n";
+    out += sep;
+    out += "|";
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        out += " " + pad(header_[c], widths[c], false) + " |";
+    out += "\n" + sep;
+    for (const auto& row : rows_) {
+        out += "|";
+        for (std::size_t c = 0; c < row.size(); ++c)
+            out += " " + pad(row[c], widths[c], numeric[c]) + " |";
+        out += "\n";
+    }
+    out += sep;
+    return out;
+}
+
+std::string
+TableWriter::renderMarkdown() const
+{
+    std::string out;
+    if (!title_.empty())
+        out += "**" + title_ + "**\n\n";
+    out += "|";
+    for (const auto& h : header_)
+        out += " " + h + " |";
+    out += "\n|";
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        out += "---|";
+    out += "\n";
+    for (const auto& row : rows_) {
+        out += "|";
+        for (const auto& cell : row)
+            out += " " + cell + " |";
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace cosim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ASCII table rendering for paper-style tables printed by the benches.
+ */
+
+#ifndef COSIM_BASE_TABLE_HH
+#define COSIM_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace cosim {
+
+/**
+ * Accumulates rows of strings and renders them as an aligned ASCII table
+ * (or GitHub-flavoured markdown). Numeric alignment is right-justified,
+ * text left-justified, decided per column from the data.
+ */
+class TableWriter
+{
+  public:
+    /** @param title caption printed above the table */
+    explicit TableWriter(std::string title = "");
+
+    /** Set the header row. Must be called before addRow(). */
+    void setHeader(const std::vector<std::string>& header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(const std::vector<std::string>& row);
+
+    /** Render with box-drawing separators for terminals. */
+    std::string renderAscii() const;
+
+    /** Render as a markdown table. */
+    std::string renderMarkdown() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::size_t> columnWidths() const;
+    static bool looksNumeric(const std::string& s);
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_BASE_TABLE_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the co-simulation framework.
+ */
+
+#ifndef COSIM_BASE_TYPES_HH
+#define COSIM_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace cosim {
+
+/** A simulated physical address. */
+using Addr = std::uint64_t;
+
+/** Identifier of a (virtual) core on the simulated CMP. */
+using CoreId = std::uint16_t;
+
+/** A count of simulated clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A count of retired instructions. */
+using InstCount = std::uint64_t;
+
+/** A count of simulated picoseconds (used by the sampling clock). */
+using Tick = std::uint64_t;
+
+/** Marker for "no core" / broadcast on the bus. */
+constexpr CoreId invalidCoreId = 0xffff;
+
+/** Marker for an invalid address. */
+constexpr Addr invalidAddr = ~static_cast<Addr>(0);
+
+} // namespace cosim
+
+#endif // COSIM_BASE_TYPES_HH

@@ -1,0 +1,59 @@
+#include "base/units.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace cosim {
+
+std::string
+formatSize(std::uint64_t bytes)
+{
+    if (bytes >= GiB && bytes % GiB == 0)
+        return std::to_string(bytes / GiB) + "GB";
+    if (bytes >= MiB && bytes % MiB == 0)
+        return std::to_string(bytes / MiB) + "MB";
+    if (bytes >= KiB && bytes % KiB == 0)
+        return std::to_string(bytes / KiB) + "KB";
+    return std::to_string(bytes) + "B";
+}
+
+std::uint64_t
+parseSize(const std::string& text)
+{
+    fatal_if(text.empty(), "empty size string");
+
+    std::size_t pos = 0;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0)) {
+        ++pos;
+    }
+    fatal_if(pos == 0, "size string '%s' has no leading digits",
+             text.c_str());
+
+    std::uint64_t value = std::strtoull(text.substr(0, pos).c_str(),
+                                        nullptr, 10);
+
+    std::string suffix;
+    for (std::size_t i = pos; i < text.size(); ++i) {
+        char c = text[i];
+        if (c == ' ')
+            continue;
+        suffix += static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c)));
+    }
+
+    if (suffix.empty() || suffix == "B")
+        return value;
+    if (suffix == "K" || suffix == "KB" || suffix == "KIB")
+        return value * KiB;
+    if (suffix == "M" || suffix == "MB" || suffix == "MIB")
+        return value * MiB;
+    if (suffix == "G" || suffix == "GB" || suffix == "GIB")
+        return value * GiB;
+
+    fatal("unrecognized size suffix in '%s'", text.c_str());
+}
+
+} // namespace cosim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Byte-size literals and human-readable size formatting/parsing.
+ */
+
+#ifndef COSIM_BASE_UNITS_HH
+#define COSIM_BASE_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cosim {
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+namespace literals {
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * KiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * MiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * GiB; }
+
+} // namespace literals
+
+/**
+ * Format a byte count compactly, e.g. 4194304 -> "4MB", 512 -> "512B".
+ * Uses binary units but the conventional short suffixes the paper uses.
+ */
+std::string formatSize(std::uint64_t bytes);
+
+/**
+ * Parse a size string such as "4MB", "64B", "32MiB", "2K", "512kB".
+ * @return the byte count; calls fatal() on malformed input.
+ */
+std::uint64_t parseSize(const std::string& text);
+
+} // namespace cosim
+
+#endif // COSIM_BASE_UNITS_HH

@@ -1,0 +1,46 @@
+#include "cache/sweep_bank.hh"
+
+namespace cosim {
+
+std::size_t
+CacheSweepBank::addConfig(const CacheParams& params)
+{
+    caches_.push_back(std::make_unique<Cache>(params));
+    return caches_.size() - 1;
+}
+
+void
+CacheSweepBank::access(Addr addr, bool write)
+{
+    for (auto& cache : caches_)
+        cache->access(addr, write);
+}
+
+std::vector<std::uint64_t>
+CacheSweepBank::missCounts() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(caches_.size());
+    for (const auto& cache : caches_)
+        out.push_back(cache->stats().misses);
+    return out;
+}
+
+std::vector<double>
+CacheSweepBank::missRates() const
+{
+    std::vector<double> out;
+    out.reserve(caches_.size());
+    for (const auto& cache : caches_)
+        out.push_back(cache->stats().missRate());
+    return out;
+}
+
+void
+CacheSweepBank::resetStats()
+{
+    for (auto& cache : caches_)
+        cache->resetStats();
+}
+
+} // namespace cosim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Simultaneous simulation of many cache configurations from one stream.
+ *
+ * Dragonhead parallelized its emulation across four CC FPGAs; the
+ * software analogue is to evaluate an entire parameter sweep (e.g. all
+ * seven LLC sizes of Figure 4) against a single execution of the
+ * workload. Each configured cache sees the identical access stream;
+ * because the emulation is passive, the results are exactly what K
+ * independent runs would produce.
+ */
+
+#ifndef COSIM_CACHE_SWEEP_BANK_HH
+#define COSIM_CACHE_SWEEP_BANK_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+
+namespace cosim {
+
+/** A bank of independently configured caches fed by one stream. */
+class CacheSweepBank
+{
+  public:
+    CacheSweepBank() = default;
+
+    /** Add one configuration; returns its index in results(). */
+    std::size_t addConfig(const CacheParams& params);
+
+    /** Feed one line-contained access to every cache in the bank. */
+    void access(Addr addr, bool write);
+
+    std::size_t size() const { return caches_.size(); }
+
+    const Cache& cacheAt(std::size_t i) const { return *caches_.at(i); }
+
+    /** Per-configuration miss counts, in addConfig() order. */
+    std::vector<std::uint64_t> missCounts() const;
+
+    /** Per-configuration miss rates, in addConfig() order. */
+    std::vector<double> missRates() const;
+
+    void resetStats();
+
+  private:
+    std::vector<std::unique_ptr<Cache>> caches_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_CACHE_SWEEP_BANK_HH

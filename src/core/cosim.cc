@@ -1,0 +1,50 @@
+#include "core/cosim.hh"
+
+#include "base/logging.hh"
+
+namespace cosim {
+
+CoSimulation::CoSimulation(const CoSimParams& params)
+    : platform_(params.platform)
+{
+    fatal_if(!params.platform.cpu.emitFsbTraffic,
+             "co-simulation requires cores that emit FSB traffic "
+             "(set CpuParams::emitFsbTraffic)");
+    for (const DragonheadParams& dh : params.emulators) {
+        emulators_.push_back(std::make_unique<Dragonhead>(dh));
+        platform_.fsb().attach(emulators_.back().get());
+    }
+}
+
+CoSimulation::~CoSimulation()
+{
+    for (auto& dh : emulators_)
+        platform_.fsb().detach(dh.get());
+}
+
+RunResult
+CoSimulation::run(Workload& workload, const WorkloadConfig& cfg)
+{
+    for (auto& dh : emulators_)
+        dh->reset();
+    return platform_.run(workload, cfg);
+}
+
+const Dragonhead&
+CoSimulation::emulator(unsigned i) const
+{
+    panic_if(i >= emulators_.size(), "emulator index %u out of range", i);
+    return *emulators_[i];
+}
+
+std::vector<double>
+CoSimulation::mpkis() const
+{
+    std::vector<double> out;
+    out.reserve(emulators_.size());
+    for (const auto& dh : emulators_)
+        out.push_back(dh->results().mpki());
+    return out;
+}
+
+} // namespace cosim

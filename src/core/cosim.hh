@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The hardware-software co-simulation rig: SoftSDV (virtual platform)
+ * plus Dragonhead (passive cache emulation) on one bus.
+ *
+ * This is the paper's primary contribution, assembled: the DEX scheduler
+ * time-slices virtual cores while one *or several* Dragonhead instances
+ * snoop the FSB. Because the emulation is passive, attaching several
+ * emulators with different LLC configurations evaluates a whole design
+ * sweep in a single workload execution.
+ */
+
+#ifndef COSIM_CORE_COSIM_HH
+#define COSIM_CORE_COSIM_HH
+
+#include <memory>
+#include <vector>
+
+#include "dragonhead/dragonhead.hh"
+#include "softsdv/virtual_platform.hh"
+
+namespace cosim {
+
+/** Configuration of a co-simulation. */
+struct CoSimParams
+{
+    PlatformParams platform;
+    std::vector<DragonheadParams> emulators;
+};
+
+/** See file comment. */
+class CoSimulation
+{
+  public:
+    explicit CoSimulation(const CoSimParams& params);
+    ~CoSimulation();
+
+    CoSimulation(const CoSimulation&) = delete;
+    CoSimulation& operator=(const CoSimulation&) = delete;
+
+    /**
+     * Run @p workload once; every attached emulator observes the same
+     * execution. Emulators are reset at run entry.
+     */
+    RunResult run(Workload& workload, const WorkloadConfig& cfg);
+
+    unsigned nEmulators() const
+    {
+        return static_cast<unsigned>(emulators_.size());
+    }
+
+    const Dragonhead& emulator(unsigned i) const;
+
+    /** MPKI of every emulator, in configuration order. */
+    std::vector<double> mpkis() const;
+
+    VirtualPlatform& platform() { return platform_; }
+
+  private:
+    VirtualPlatform platform_;
+    std::vector<std::unique_ptr<Dragonhead>> emulators_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_CORE_COSIM_HH

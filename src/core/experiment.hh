@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Standard experiment configurations from the paper's methodology.
+ *
+ * Section 4.1: SCMP (8 cores), MCMP (16 cores), LCMP (32 cores),
+ * single-threaded cores; LLC sweep 4 MB - 256 MB at 64 B lines
+ * (Figures 4-6); line sweep 64 B - 4 KB at 32 MB (Figure 7); Table 2 on
+ * a Pentium 4 (8 KB L1, 512 KB L2); Figure 8 on a 16-way 3.0 GHz Xeon
+ * with a stride hardware prefetcher.
+ */
+
+#ifndef COSIM_CORE_EXPERIMENT_HH
+#define COSIM_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cosim.hh"
+
+namespace cosim {
+namespace presets {
+
+/** Pentium 4-like core used for the Table 2 characterization. */
+CpuParams pentium4Cpu();
+
+/**
+ * A CMP core for Figures 4-7: private 32 KB L1D filtering the FSB, no
+ * private L2, passive LLC emulation beyond (co-simulation mode).
+ */
+CpuParams cmpCoreCpu();
+
+/**
+ * Xeon-like core for the Figure 8 prefetching study: L1 + 1 MB L2 in
+ * timing mode, optional stride prefetcher.
+ */
+CpuParams xeonCpu(bool prefetch_enabled);
+
+/** The paper's three CMP scales. @p name is "SCMP"/"MCMP"/"LCMP". */
+PlatformParams cmpPlatform(const std::string& name, unsigned n_cores);
+PlatformParams scmp(); ///< 8 cores
+PlatformParams mcmp(); ///< 16 cores
+PlatformParams lcmp(); ///< 32 cores
+
+/** The 16-way Unisys Xeon SMP stand-in for Figure 8. */
+PlatformParams unisysSmp(unsigned n_cores, bool prefetch_enabled);
+
+/** {4, 8, 16, 32, 64, 128, 256} MB. */
+std::vector<std::uint64_t> llcSizeSweep();
+
+/** {64, 128, 256, 512, 1024, 2048, 4096} bytes. */
+std::vector<std::uint32_t> lineSizeSweep();
+
+/** Dragonhead configured for one (size, line) point of the sweep. */
+DragonheadParams llcConfig(std::uint64_t size, std::uint32_t line_size);
+
+/** One emulator per entry of llcSizeSweep() at 64 B lines. */
+std::vector<DragonheadParams> llcSizeSweepEmulators();
+
+/** One emulator per entry of lineSizeSweep() at 32 MB. */
+std::vector<DragonheadParams> lineSizeSweepEmulators();
+
+} // namespace presets
+} // namespace cosim
+
+#endif // COSIM_CORE_EXPERIMENT_HH

@@ -1,0 +1,85 @@
+#include "core/results.hh"
+
+#include "base/csv.hh"
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "base/table.hh"
+
+namespace cosim {
+
+FigureData::FigureData(std::string figure_id, std::string x_label,
+                       std::vector<std::string> x_ticks)
+    : figureId_(std::move(figure_id)), xLabel_(std::move(x_label)),
+      xTicks_(std::move(x_ticks))
+{
+    fatal_if(xTicks_.empty(), "%s: figure needs a non-empty x axis",
+             figureId_.c_str());
+}
+
+void
+FigureData::addSeries(const std::string& workload,
+                      const std::vector<double>& values,
+                      std::vector<SweepPoint> points)
+{
+    fatal_if(values.size() != xTicks_.size(),
+             "%s: series '%s' has %zu values for %zu ticks",
+             figureId_.c_str(), workload.c_str(), values.size(),
+             xTicks_.size());
+    if (series_.find(workload) == series_.end())
+        names_.push_back(workload);
+    series_[workload] = values;
+    points_[workload] = std::move(points);
+}
+
+const std::vector<double>&
+FigureData::series(const std::string& workload) const
+{
+    auto it = series_.find(workload);
+    fatal_if(it == series_.end(), "%s: no series for workload '%s'",
+             figureId_.c_str(), workload.c_str());
+    return it->second;
+}
+
+const std::vector<SweepPoint>&
+FigureData::points(const std::string& workload) const
+{
+    auto it = points_.find(workload);
+    fatal_if(it == points_.end(), "%s: no points for workload '%s'",
+             figureId_.c_str(), workload.c_str());
+    return it->second;
+}
+
+std::string
+FigureData::render(const std::string& value_label) const
+{
+    TableWriter table(figureId_ + " -- " + value_label + " vs " + xLabel_);
+    std::vector<std::string> header;
+    header.push_back("Workload");
+    for (const auto& tick : xTicks_)
+        header.push_back(tick);
+    table.setHeader(header);
+
+    for (const auto& name : names_) {
+        std::vector<std::string> row;
+        row.push_back(name);
+        for (double v : series_.at(name))
+            row.push_back(formatFixed(v, 3));
+        table.addRow(row);
+    }
+    return table.renderAscii();
+}
+
+void
+FigureData::writeCsv(const std::string& path) const
+{
+    CsvWriter csv(path);
+    std::vector<std::string> header;
+    header.push_back("workload");
+    for (const auto& tick : xTicks_)
+        header.push_back(tick);
+    csv.writeRow(header);
+    for (const auto& name : names_)
+        csv.writeNumericRow(name, series_.at(name));
+}
+
+} // namespace cosim

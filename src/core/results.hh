@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Result records shared by the sweep harness and the benches.
+ */
+
+#ifndef COSIM_CORE_RESULTS_HH
+#define COSIM_CORE_RESULTS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace cosim {
+
+/** One measured point of an LLC sweep. */
+struct SweepPoint
+{
+    std::string workload;
+    unsigned nCores = 0;
+    std::uint64_t llcSize = 0;
+    std::uint32_t lineSize = 0;
+
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcMisses = 0;
+    InstCount insts = 0;
+
+    double mpki() const
+    {
+        return insts == 0 ? 0.0
+                          : 1000.0 * static_cast<double>(llcMisses) /
+                                static_cast<double>(insts);
+    }
+};
+
+/**
+ * A figure's worth of sweep points: one named series per workload over a
+ * common x axis (cache sizes or line sizes).
+ */
+class FigureData
+{
+  public:
+    FigureData(std::string figure_id, std::string x_label,
+               std::vector<std::string> x_ticks);
+
+    /** Append a workload's series (must match the x-axis length). */
+    void addSeries(const std::string& workload,
+                   const std::vector<double>& values,
+                   std::vector<SweepPoint> points = {});
+
+    const std::string& figureId() const { return figureId_; }
+    const std::vector<std::string>& xTicks() const { return xTicks_; }
+    const std::vector<std::string>& seriesNames() const { return names_; }
+    const std::vector<double>& series(const std::string& workload) const;
+    const std::vector<SweepPoint>& points(const std::string& workload)
+        const;
+
+    /** Paper-style printout: one row per workload, one column per tick. */
+    std::string render(const std::string& value_label) const;
+
+    /** Persist to CSV (one row per workload). */
+    void writeCsv(const std::string& path) const;
+
+  private:
+    std::string figureId_;
+    std::string xLabel_;
+    std::vector<std::string> xTicks_;
+    std::vector<std::string> names_;
+    std::map<std::string, std::vector<double>> series_;
+    std::map<std::string, std::vector<SweepPoint>> points_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_CORE_RESULTS_HH

@@ -1,0 +1,51 @@
+#include "dragonhead/address_filter.hh"
+
+namespace cosim {
+
+FilterAction
+AddressFilter::process(const BusTransaction& txn, CoreId& core_out,
+                       msg::Message& msg_out)
+{
+    ++stats_.observed;
+
+    if (txn.kind == TxnKind::Message || msg::isMessageAddr(txn.addr)) {
+        ++stats_.messages;
+        msg_out = msg::decode(txn.addr);
+        switch (msg_out.type) {
+          case msg::Type::StartEmulation:
+            emulating_ = true;
+            break;
+          case msg::Type::StopEmulation:
+            emulating_ = false;
+            break;
+          case msg::Type::SetCoreId:
+            currentCore_ = static_cast<CoreId>(msg_out.payload);
+            break;
+          case msg::Type::InstRetired:
+          case msg::Type::CyclesCompleted:
+            // Bookkeeping messages are consumed here and interpreted by
+            // the control block.
+            break;
+        }
+        return FilterAction::Consumed;
+    }
+
+    if (!emulating_) {
+        ++stats_.dropped;
+        return FilterAction::Dropped;
+    }
+
+    ++stats_.forwarded;
+    core_out = currentCore_;
+    return FilterAction::Forward;
+}
+
+void
+AddressFilter::reset()
+{
+    emulating_ = false;
+    currentCore_ = 0;
+    stats_.reset();
+}
+
+} // namespace cosim

@@ -1,0 +1,45 @@
+#include "dragonhead/cache_controller.hh"
+
+#include "base/logging.hh"
+
+namespace cosim {
+
+CacheController::CacheController(unsigned index,
+                                 const CacheParams& slice_params,
+                                 unsigned max_cores)
+    : index_(index), cache_(slice_params), perCore_(max_cores)
+{
+    fatal_if(max_cores == 0, "CC%u: need at least one core counter row",
+             index);
+}
+
+bool
+CacheController::handleDemand(Addr addr, bool write, CoreId core)
+{
+    Cache::Outcome out = cache_.access(addr, write);
+    if (core < perCore_.size()) {
+        ++perCore_[core].accesses;
+        if (!out.hit)
+            ++perCore_[core].misses;
+    }
+    return out.hit;
+}
+
+const CoreCounters&
+CacheController::coreCounters(CoreId core) const
+{
+    panic_if(core >= perCore_.size(), "CC%u: core %u out of range", index_,
+             core);
+    return perCore_[core];
+}
+
+void
+CacheController::reset()
+{
+    cache_.flush();
+    cache_.resetStats();
+    for (auto& row : perCore_)
+        row = CoreCounters();
+}
+
+} // namespace cosim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * One CC (cache controller) FPGA of Dragonhead.
+ *
+ * The four CC FPGAs (CC0..CC3) each emulate an address-interleaved slice
+ * of the shared last-level cache: line addresses are distributed
+ * round-robin across the slices, and each slice is a set-associative
+ * cache holding 1/nSlices of the total capacity. The controller keeps
+ * per-core access/miss counters so the data-sharing behaviour across the
+ * CMP's cores can be analyzed.
+ */
+
+#ifndef COSIM_DRAGONHEAD_CACHE_CONTROLLER_HH
+#define COSIM_DRAGONHEAD_CACHE_CONTROLLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hh"
+
+namespace cosim {
+
+/** Per-core counters kept by a cache controller. */
+struct CoreCounters
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+};
+
+/** See file comment. */
+class CacheController
+{
+  public:
+    /**
+     * @param index which CC this is (0-based)
+     * @param slice_params geometry of this slice (already divided)
+     * @param max_cores number of per-core counter rows
+     */
+    CacheController(unsigned index, const CacheParams& slice_params,
+                    unsigned max_cores);
+
+    /**
+     * Emulate one demand access.
+     * @param addr full byte address
+     * @param write whether the line should be installed/marked dirty
+     * @param core the core the AF attributed this access to
+     * @return true on hit
+     */
+    bool handleDemand(Addr addr, bool write, CoreId core);
+
+    unsigned index() const { return index_; }
+    const Cache& cache() const { return cache_; }
+
+    const CoreCounters& coreCounters(CoreId core) const;
+    const CacheStats& stats() const { return cache_.stats(); }
+
+    void reset();
+
+  private:
+    unsigned index_;
+    Cache cache_;
+    std::vector<CoreCounters> perCore_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_DRAGONHEAD_CACHE_CONTROLLER_HH

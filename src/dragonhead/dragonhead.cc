@@ -1,0 +1,122 @@
+#include "dragonhead/dragonhead.hh"
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace cosim {
+
+Dragonhead::Dragonhead(const DragonheadParams& params)
+    : params_(params), cb_(params.cb)
+{
+    fatal_if(params_.nSlices == 0, "Dragonhead needs at least one CC");
+    fatal_if(!isPowerOf2(params_.nSlices),
+             "slice count %u must be a power of two", params_.nSlices);
+
+    const CacheParams& llc = params_.llc;
+    fatal_if(llc.size % params_.nSlices != 0,
+             "LLC size %llu not divisible across %u slices",
+             static_cast<unsigned long long>(llc.size), params_.nSlices);
+
+    CacheParams slice = llc;
+    slice.size = llc.size / params_.nSlices;
+    fatal_if(slice.sets() == 0,
+             "LLC too small: a slice has no complete set");
+
+    for (unsigned i = 0; i < params_.nSlices; ++i) {
+        slice.name = llc.name + ".cc" + std::to_string(i);
+        ccs_.push_back(std::make_unique<CacheController>(
+            i, slice, params_.maxCores));
+    }
+
+    std::vector<CacheController*> raw;
+    raw.reserve(ccs_.size());
+    for (auto& cc : ccs_)
+        raw.push_back(cc.get());
+    cb_.attachControllers(raw);
+
+    lineBits_ = floorLog2(llc.lineSize);
+    sliceBits_ = floorLog2(params_.nSlices);
+}
+
+Dragonhead::~Dragonhead() = default;
+
+void
+Dragonhead::observe(const BusTransaction& txn)
+{
+    CoreId core = 0;
+    msg::Message m{};
+    switch (af_.process(txn, core, m)) {
+      case FilterAction::Dropped:
+        return;
+      case FilterAction::Consumed:
+        cb_.onMessage(m);
+        return;
+      case FilterAction::Forward:
+        break;
+    }
+
+    // Prefetch fills brought lines into *private* caches; the shared LLC
+    // still observes them as line reads. WriteLine transactions install
+    // the line dirty.
+    bool write = txn.kind == TxnKind::WriteLine;
+    if (params_.partitioning == LlcPartitioning::PerCore) {
+        // Private partitions: the slice is the issuing core's, and the
+        // full address indexes it.
+        unsigned slice = static_cast<unsigned>(core) %
+                         static_cast<unsigned>(ccs_.size());
+        ccs_[slice]->handleDemand(txn.addr, write, core);
+        return;
+    }
+    Addr line = txn.addr >> lineBits_;
+    unsigned slice = static_cast<unsigned>(line & (ccs_.size() - 1));
+    // Fold the slice-select bits out of the address the slice cache
+    // indexes with, exactly as the physical interleave does -- otherwise
+    // each CC would only ever touch 1/nSlices of its sets.
+    Addr folded = ((line >> sliceBits_) << lineBits_) |
+                  (txn.addr & (params_.llc.lineSize - 1));
+    ccs_[slice]->handleDemand(folded, write, core);
+}
+
+LlcResults
+Dragonhead::results() const
+{
+    LlcResults r;
+    for (const auto& cc : ccs_) {
+        r.accesses += cc->stats().accesses;
+        r.misses += cc->stats().misses;
+    }
+    r.insts = cb_.totalInsts();
+    r.cycles = cb_.totalCycles();
+    return r;
+}
+
+CoreCounters
+Dragonhead::coreResults(CoreId core) const
+{
+    CoreCounters out;
+    for (const auto& cc : ccs_) {
+        const CoreCounters& c = cc->coreCounters(core);
+        out.accesses += c.accesses;
+        out.misses += c.misses;
+    }
+    return out;
+}
+
+const CacheController&
+Dragonhead::slice(unsigned i) const
+{
+    panic_if(i >= ccs_.size(), "slice index %u out of range", i);
+    return *ccs_[i];
+}
+
+void
+Dragonhead::reset()
+{
+    af_.reset();
+    cb_.reset();
+    for (auto& cc : ccs_)
+        cc->reset();
+}
+
+} // namespace cosim

@@ -1,0 +1,60 @@
+#include "dragonhead/fsb_messages.hh"
+
+#include "base/logging.hh"
+
+namespace cosim {
+namespace msg {
+
+Addr
+encodeAddr(Type type, std::uint64_t payload)
+{
+    panic_if(payload > maxPayload,
+             "message payload %llu exceeds 40 bits; send deltas",
+             static_cast<unsigned long long>(payload));
+    return (windowTag << 48) |
+           (static_cast<std::uint64_t>(type) << 40) | payload;
+}
+
+BusTransaction
+encode(Type type, std::uint64_t payload)
+{
+    BusTransaction txn;
+    txn.addr = encodeAddr(type, payload);
+    txn.size = 0;
+    txn.kind = TxnKind::Message;
+    txn.core = invalidCoreId;
+    return txn;
+}
+
+Message
+decode(Addr addr)
+{
+    panic_if(!isMessageAddr(addr),
+             "decoding non-message address %#llx",
+             static_cast<unsigned long long>(addr));
+    Message m;
+    m.type = static_cast<Type>((addr >> 40) & 0xff);
+    m.payload = addr & maxPayload;
+    return m;
+}
+
+const char*
+toString(Type t)
+{
+    switch (t) {
+      case Type::StartEmulation:
+        return "start-emulation";
+      case Type::StopEmulation:
+        return "stop-emulation";
+      case Type::SetCoreId:
+        return "set-core-id";
+      case Type::InstRetired:
+        return "inst-retired";
+      case Type::CyclesCompleted:
+        return "cycles-completed";
+    }
+    return "?";
+}
+
+} // namespace msg
+} // namespace cosim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The SoftSDV -> Dragonhead message protocol.
+ *
+ * Section 3.3 of the paper: "Some memory transactions are predefined as
+ * messages from SoftSDV to Dragonhead", carrying (1) start emulation,
+ * (2) stop emulation, (3) core-ID, (4) instructions retired and
+ * (5) cycles completed. A message is an ordinary bus transaction whose
+ * address falls inside a reserved window; the message type and payload
+ * are encoded in the address bits, so a passive snooper that only sees
+ * addresses can decode everything.
+ *
+ * Layout of a message address:
+ *
+ *   [63:48] window tag (0xDA6D, "Dragonhead")
+ *   [47:40] message type
+ *   [39:0]  payload (counts are sent as deltas so 40 bits suffice)
+ */
+
+#ifndef COSIM_DRAGONHEAD_FSB_MESSAGES_HH
+#define COSIM_DRAGONHEAD_FSB_MESSAGES_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "mem/access.hh"
+
+namespace cosim {
+namespace msg {
+
+/** The five message types of Section 3.3. */
+enum class Type : std::uint8_t {
+    StartEmulation = 1,
+    StopEmulation = 2,
+    SetCoreId = 3,
+    InstRetired = 4,
+    CyclesCompleted = 5,
+};
+
+/** Reserved address window tag in bits [63:48]. */
+constexpr std::uint64_t windowTag = 0xDA6D;
+
+/** Largest payload a message can carry. */
+constexpr std::uint64_t maxPayload = (std::uint64_t{1} << 40) - 1;
+
+/** A decoded message. */
+struct Message
+{
+    Type type;
+    std::uint64_t payload;
+};
+
+/** True iff @p addr lies in the message window. */
+constexpr bool
+isMessageAddr(Addr addr)
+{
+    return (addr >> 48) == windowTag;
+}
+
+/** Encode a message into an address. Payload must fit in 40 bits. */
+Addr encodeAddr(Type type, std::uint64_t payload);
+
+/** Wrap an encoded message in a bus transaction. */
+BusTransaction encode(Type type, std::uint64_t payload);
+
+/** Decode a message address; panics if it is not in the window. */
+Message decode(Addr addr);
+
+/** Stable name of a message type. */
+const char* toString(Type t);
+
+} // namespace msg
+} // namespace cosim
+
+#endif // COSIM_DRAGONHEAD_FSB_MESSAGES_HH

@@ -1,0 +1,86 @@
+#include "harness/report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "workloads/workload_factory.hh"
+
+namespace cosim {
+
+BenchOptions
+parseBenchArgs(int argc, char** argv, const std::string& bench_description)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "%s\n\n"
+                "options:\n"
+                "  --scale=<f>      input scale factor (default 1.0)\n"
+                "  --quick          shorthand for --scale=0.05\n"
+                "  --seed=<n>       data generation seed (default 42)\n"
+                "  --workloads=a,b  run a subset of the workloads\n"
+                "  --out=<dir>      CSV output directory (default "
+                "results)\n"
+                "  --no-verify      continue when self-verification "
+                "fails\n",
+                bench_description.c_str());
+            std::exit(0);
+        } else if (startsWith(arg, "--scale=")) {
+            opts.scale = std::strtod(arg.c_str() + 8, nullptr);
+            fatal_if(opts.scale <= 0.0, "bad --scale value '%s'",
+                     arg.c_str());
+        } else if (arg == "--quick") {
+            opts.scale = 0.05;
+        } else if (startsWith(arg, "--seed=")) {
+            opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        } else if (startsWith(arg, "--workloads=")) {
+            for (const std::string& w : split(arg.substr(12), ',')) {
+                if (!trim(w).empty())
+                    opts.workloads.push_back(trim(w));
+            }
+        } else if (startsWith(arg, "--out=")) {
+            opts.outDir = arg.substr(6);
+        } else if (arg == "--no-verify") {
+            opts.strictVerify = false;
+        } else {
+            fatal("unknown option '%s' (try --help)", arg.c_str());
+        }
+    }
+    if (opts.workloads.empty())
+        opts.workloads = workloadNames();
+    return opts;
+}
+
+void
+ensureOutputDir(const std::string& dir)
+{
+    if (dir.empty())
+        return;
+    struct stat st{};
+    if (stat(dir.c_str(), &st) == 0) {
+        fatal_if(!S_ISDIR(st.st_mode), "'%s' exists and is not a "
+                 "directory", dir.c_str());
+        return;
+    }
+    fatal_if(mkdir(dir.c_str(), 0755) != 0,
+             "cannot create output directory '%s'", dir.c_str());
+}
+
+void
+printBanner(const std::string& title, const BenchOptions& opts)
+{
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("scale=%.3g seed=%llu workloads=", opts.scale,
+                static_cast<unsigned long long>(opts.seed));
+    for (std::size_t i = 0; i < opts.workloads.size(); ++i)
+        std::printf("%s%s", i ? "," : "", opts.workloads[i].c_str());
+    std::printf("\n\n");
+}
+
+} // namespace cosim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared command-line handling and output conventions for the bench
+ * binaries.
+ */
+
+#ifndef COSIM_HARNESS_REPORT_HH
+#define COSIM_HARNESS_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cosim {
+
+/** Options every bench binary accepts. */
+struct BenchOptions
+{
+    /** Input scale; 1.0 reproduces the paper-shaped inputs. */
+    double scale = 1.0;
+    std::uint64_t seed = 42;
+    /** Workload subset (empty = all eight). */
+    std::vector<std::string> workloads;
+    /** Directory CSV outputs are written into. */
+    std::string outDir = "results";
+    /** Abort the bench if a workload fails self-verification. */
+    bool strictVerify = true;
+};
+
+/**
+ * Parse the common flags:
+ *   --scale=<f>      input scale factor
+ *   --quick          shorthand for --scale=0.05
+ *   --seed=<n>       data-generation seed
+ *   --workloads=a,b  comma-separated subset
+ *   --out=<dir>      output directory for CSVs
+ *   --no-verify      keep going when self-verification fails
+ *   --help           print usage (and exit 0)
+ * Unknown flags are fatal.
+ */
+BenchOptions parseBenchArgs(int argc, char** argv,
+                            const std::string& bench_description);
+
+/** Create @p dir if needed; fatal() if that fails. */
+void ensureOutputDir(const std::string& dir);
+
+/** Print the standard bench banner. */
+void printBanner(const std::string& title, const BenchOptions& opts);
+
+} // namespace cosim
+
+#endif // COSIM_HARNESS_REPORT_HH

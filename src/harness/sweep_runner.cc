@@ -1,0 +1,93 @@
+#include "harness/sweep_runner.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "workloads/workload_factory.hh"
+
+namespace cosim {
+
+FigureData
+SweepRunner::runFigure(const std::string& figure_id,
+                       const PlatformParams& platform,
+                       const std::vector<DragonheadParams>& emulators,
+                       const std::vector<std::string>& ticks)
+{
+    FigureData figure(figure_id, "cache configuration", ticks);
+
+    CoSimParams params;
+    params.platform = platform;
+    params.emulators = emulators;
+    CoSimulation cosim(params);
+
+    for (const std::string& name : opts_.workloads) {
+        auto workload = createWorkload(name, opts_.scale);
+
+        WorkloadConfig cfg;
+        cfg.nThreads = platform.nCores;
+        cfg.scale = opts_.scale;
+        cfg.seed = opts_.seed;
+
+        RunResult result = cosim.run(*workload, cfg);
+        if (!result.verified) {
+            if (opts_.strictVerify) {
+                fatal("%s failed self-verification on %s", name.c_str(),
+                      platform.name.c_str());
+            }
+            warn("%s failed self-verification on %s", name.c_str(),
+                 platform.name.c_str());
+        }
+
+        std::vector<double> series;
+        std::vector<SweepPoint> points;
+        for (unsigned e = 0; e < cosim.nEmulators(); ++e) {
+            const Dragonhead& dh = cosim.emulator(e);
+            LlcResults llc = dh.results();
+
+            SweepPoint point;
+            point.workload = workload->name();
+            point.nCores = platform.nCores;
+            point.llcSize = dh.params().llc.size;
+            point.lineSize = dh.params().llc.lineSize;
+            point.llcAccesses = llc.accesses;
+            point.llcMisses = llc.misses;
+            point.insts = llc.insts;
+            series.push_back(point.mpki());
+            points.push_back(point);
+        }
+        figure.addSeries(workload->name(), series, std::move(points));
+
+        std::printf("  %-9s %8.1fM inst  %6.2fs host  %5.1f MIPS  "
+                    "verified=%s\n",
+                    workload->name().c_str(),
+                    static_cast<double>(result.totalInsts) / 1e6,
+                    result.hostSeconds, result.simMips(),
+                    result.verified ? "yes" : "NO");
+    }
+    return figure;
+}
+
+FigureData
+SweepRunner::runCacheSizeFigure(const std::string& figure_id,
+                                const PlatformParams& platform)
+{
+    std::vector<std::string> ticks;
+    for (std::uint64_t size : presets::llcSizeSweep())
+        ticks.push_back(formatSize(size));
+    return runFigure(figure_id, platform,
+                     presets::llcSizeSweepEmulators(), ticks);
+}
+
+FigureData
+SweepRunner::runLineSizeFigure(const std::string& figure_id,
+                               const PlatformParams& platform)
+{
+    std::vector<std::string> ticks;
+    for (std::uint32_t line : presets::lineSizeSweep())
+        ticks.push_back(formatSize(line));
+    return runFigure(figure_id, platform,
+                     presets::lineSizeSweepEmulators(), ticks);
+}
+
+} // namespace cosim

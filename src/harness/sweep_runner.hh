@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Runs the paper's sweep experiments: one workload execution per
+ * (workload, CMP scale), with every cache configuration of the sweep
+ * emulated simultaneously by passive Dragonhead instances.
+ */
+
+#ifndef COSIM_HARNESS_SWEEP_RUNNER_HH
+#define COSIM_HARNESS_SWEEP_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/results.hh"
+#include "harness/report.hh"
+
+namespace cosim {
+
+/** See file comment. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(const BenchOptions& opts) : opts_(opts) {}
+
+    /**
+     * Figures 4-6: LLC misses per kilo-instruction vs cache size
+     * (4-256 MB, 64 B lines) on the given platform.
+     */
+    FigureData runCacheSizeFigure(const std::string& figure_id,
+                                  const PlatformParams& platform);
+
+    /**
+     * Figure 7: LLC misses per kilo-instruction vs line size
+     * (64 B-4 KB) with a 32 MB LLC on the given platform.
+     */
+    FigureData runLineSizeFigure(const std::string& figure_id,
+                                 const PlatformParams& platform);
+
+  private:
+    FigureData runFigure(const std::string& figure_id,
+                         const PlatformParams& platform,
+                         const std::vector<DragonheadParams>& emulators,
+                         const std::vector<std::string>& ticks);
+
+    BenchOptions opts_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_HARNESS_SWEEP_RUNNER_HH

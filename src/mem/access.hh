@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Memory access and bus transaction records.
+ *
+ * A MemAccess is what a core's load/store unit produces; a BusTransaction
+ * is what appears on the front-side bus after the private caches have
+ * filtered the stream (line fills, writebacks, prefetches), plus the
+ * special "message" transactions SoftSDV uses to talk to Dragonhead.
+ */
+
+#ifndef COSIM_MEM_ACCESS_HH
+#define COSIM_MEM_ACCESS_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace cosim {
+
+/** Kind of a core-level memory reference. */
+enum class AccessType : std::uint8_t {
+    Read,
+    Write,
+};
+
+/** One core-level memory reference. */
+struct MemAccess
+{
+    Addr addr = 0;
+    std::uint32_t size = 0;
+    AccessType type = AccessType::Read;
+    CoreId core = 0;
+};
+
+/** Kind of a front-side bus transaction. */
+enum class TxnKind : std::uint8_t {
+    ReadLine,  ///< demand line fill
+    WriteLine, ///< writeback of a dirty line
+    Prefetch,  ///< hardware-prefetch line fill
+    Message,   ///< SoftSDV -> Dragonhead control message (see fsb_messages)
+};
+
+/** One transaction observed on the front-side bus. */
+struct BusTransaction
+{
+    Addr addr = 0;
+    std::uint32_t size = 0;
+    TxnKind kind = TxnKind::ReadLine;
+    CoreId core = invalidCoreId;
+};
+
+/** Human-readable names, for traces and debug output. */
+const char* toString(AccessType t);
+const char* toString(TxnKind k);
+
+} // namespace cosim
+
+#endif // COSIM_MEM_ACCESS_HH

@@ -1,0 +1,41 @@
+#include "mem/address_space.hh"
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace cosim {
+
+Addr
+SimAllocator::allocate(const std::string& name, std::uint64_t size,
+                       std::uint64_t align)
+{
+    fatal_if(size == 0, "allocating empty region '%s'", name.c_str());
+    fatal_if(!isPowerOf2(align), "alignment %llu is not a power of two",
+             static_cast<unsigned long long>(align));
+
+    Addr base = alignUp(next_, align);
+    next_ = base + size;
+    footprint_ += size;
+    regions_.push_back({name, base, size});
+    return base;
+}
+
+const SimRegion*
+SimAllocator::findRegion(Addr a) const
+{
+    for (const auto& region : regions_) {
+        if (region.contains(a))
+            return &region;
+    }
+    return nullptr;
+}
+
+void
+SimAllocator::reset()
+{
+    next_ = workloadBase;
+    footprint_ = 0;
+    regions_.clear();
+}
+
+} // namespace cosim

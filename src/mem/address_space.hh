@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Simulated physical address space management.
+ *
+ * Workload data structures live in ordinary host memory, but every one of
+ * their elements also has a *simulated* physical address that is what the
+ * cache models see. The SimAllocator hands out non-overlapping, aligned
+ * ranges of that simulated space and remembers them by name so tools can
+ * attribute misses to data structures.
+ */
+
+#ifndef COSIM_MEM_ADDRESS_SPACE_HH
+#define COSIM_MEM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace cosim {
+
+/** A named, allocated range of simulated physical memory. */
+struct SimRegion
+{
+    std::string name;
+    Addr base = 0;
+    std::uint64_t size = 0;
+
+    /** True iff @p a falls inside this region. */
+    bool contains(Addr a) const { return a >= base && a < base + size; }
+};
+
+/**
+ * Bump allocator over the simulated physical address space.
+ *
+ * The workload address window starts at 256 MB so that low addresses stay
+ * free for platform use, and the Dragonhead message window (see
+ * dragonhead/fsb_messages.hh) sits far above anything this allocator will
+ * ever produce.
+ */
+class SimAllocator
+{
+  public:
+    /** Lowest address handed out to workloads. */
+    static constexpr Addr workloadBase = 0x1000'0000;
+
+    SimAllocator() = default;
+
+    /**
+     * Allocate @p size bytes aligned to @p align (power of two).
+     * @param name data-structure label used in region reports
+     * @return base address of the new region
+     */
+    Addr allocate(const std::string& name, std::uint64_t size,
+                  std::uint64_t align = 64);
+
+    /** Total bytes allocated so far (the workload's nominal footprint). */
+    std::uint64_t footprint() const { return footprint_; }
+
+    /** All regions, in allocation order. */
+    const std::vector<SimRegion>& regions() const { return regions_; }
+
+    /** Find the region containing @p a, or nullptr. */
+    const SimRegion* findRegion(Addr a) const;
+
+    /** Release all regions and restart from workloadBase. */
+    void reset();
+
+  private:
+    Addr next_ = workloadBase;
+    std::uint64_t footprint_ = 0;
+    std::vector<SimRegion> regions_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_MEM_ADDRESS_SPACE_HH

@@ -1,0 +1,87 @@
+#include "mem/fsb.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace cosim {
+
+const char*
+toString(AccessType t)
+{
+    switch (t) {
+      case AccessType::Read:
+        return "read";
+      case AccessType::Write:
+        return "write";
+    }
+    return "?";
+}
+
+const char*
+toString(TxnKind k)
+{
+    switch (k) {
+      case TxnKind::ReadLine:
+        return "read-line";
+      case TxnKind::WriteLine:
+        return "write-line";
+      case TxnKind::Prefetch:
+        return "prefetch";
+      case TxnKind::Message:
+        return "message";
+    }
+    return "?";
+}
+
+void
+FrontSideBus::attach(BusSnooper* snooper)
+{
+    panic_if(snooper == nullptr, "attaching null snooper");
+    panic_if(std::find(snoopers_.begin(), snoopers_.end(), snooper) !=
+                 snoopers_.end(),
+             "snooper attached twice");
+    snoopers_.push_back(snooper);
+}
+
+void
+FrontSideBus::detach(BusSnooper* snooper)
+{
+    auto it = std::find(snoopers_.begin(), snoopers_.end(), snooper);
+    panic_if(it == snoopers_.end(), "detaching snooper that is not attached");
+    snoopers_.erase(it);
+}
+
+void
+FrontSideBus::issue(const BusTransaction& txn)
+{
+    ++nTxns_;
+    switch (txn.kind) {
+      case TxnKind::ReadLine:
+        ++nReads_;
+        dataBytes_ += txn.size;
+        break;
+      case TxnKind::WriteLine:
+        ++nWrites_;
+        dataBytes_ += txn.size;
+        break;
+      case TxnKind::Prefetch:
+        ++nPrefetches_;
+        dataBytes_ += txn.size;
+        break;
+      case TxnKind::Message:
+        ++nMessages_;
+        break;
+    }
+    for (BusSnooper* snooper : snoopers_)
+        snooper->observe(txn);
+}
+
+void
+FrontSideBus::resetStats()
+{
+    nTxns_ = nReads_ = nWrites_ = nPrefetches_ = nMessages_ = 0;
+    dataBytes_ = 0;
+}
+
+} // namespace cosim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Front-side bus model.
+ *
+ * In the paper's rig, Dragonhead passively snoops the physical FSB of the
+ * host machine through a logic analyzer interface (LAI). Here the bus is a
+ * synchronous broadcast point: producers (the per-core private cache
+ * hierarchies and the DEX scheduler's message generator) issue
+ * transactions, and any number of snoopers (Dragonhead instances, trace
+ * writers, custom observers) see every one of them in issue order.
+ */
+
+#ifndef COSIM_MEM_FSB_HH
+#define COSIM_MEM_FSB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/access.hh"
+
+namespace cosim {
+
+/** Interface for anything that watches the front-side bus. */
+class BusSnooper
+{
+  public:
+    virtual ~BusSnooper() = default;
+
+    /** Called for every transaction, in issue order. */
+    virtual void observe(const BusTransaction& txn) = 0;
+};
+
+/**
+ * The broadcast bus. Not thread-safe by design: the DEX scheduler
+ * serializes all virtual cores onto one host thread, exactly as the
+ * physical FSB serializes transactions.
+ */
+class FrontSideBus
+{
+  public:
+    /** Attach a snooper; it starts seeing subsequent transactions. */
+    void attach(BusSnooper* snooper);
+
+    /** Detach a previously attached snooper. */
+    void detach(BusSnooper* snooper);
+
+    /** Broadcast one transaction to every snooper. */
+    void issue(const BusTransaction& txn);
+
+    /** @name Traffic statistics @{ */
+    std::uint64_t txnCount() const { return nTxns_; }
+    std::uint64_t readCount() const { return nReads_; }
+    std::uint64_t writeCount() const { return nWrites_; }
+    std::uint64_t prefetchCount() const { return nPrefetches_; }
+    std::uint64_t messageCount() const { return nMessages_; }
+    std::uint64_t dataBytes() const { return dataBytes_; }
+    /** @} */
+
+    std::size_t snooperCount() const { return snoopers_.size(); }
+
+    /** Zero the traffic statistics (snoopers stay attached). */
+    void resetStats();
+
+  private:
+    std::vector<BusSnooper*> snoopers_;
+    std::uint64_t nTxns_ = 0;
+    std::uint64_t nReads_ = 0;
+    std::uint64_t nWrites_ = 0;
+    std::uint64_t nPrefetches_ = 0;
+    std::uint64_t nMessages_ = 0;
+    std::uint64_t dataBytes_ = 0;
+};
+
+} // namespace cosim
+
+#endif // COSIM_MEM_FSB_HH

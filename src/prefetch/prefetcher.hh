@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Hardware prefetcher interface.
+ *
+ * The Unisys Xeon machine of Section 4.4 had a stride-based hardware
+ * prefetcher that could be switched off; these models reproduce that
+ * study. A prefetcher watches the stream of accesses arriving at the
+ * level it protects (here, the L1-miss stream feeding the L2) and
+ * proposes line addresses to bring in.
+ */
+
+#ifndef COSIM_PREFETCH_PREFETCHER_HH
+#define COSIM_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace cosim {
+
+/** Statistics common to all prefetchers. */
+struct PrefetcherStats
+{
+    std::uint64_t observed = 0;   ///< accesses shown to the prefetcher
+    std::uint64_t trained = 0;    ///< observations that confirmed a stride
+    std::uint64_t issued = 0;     ///< prefetch candidates produced
+
+    void reset() { *this = PrefetcherStats(); }
+};
+
+/** Base class for hardware prefetcher models. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Show the prefetcher one demand access and collect its prefetch
+     * proposals (absolute byte addresses; the consumer line-aligns them).
+     *
+     * @param addr demand address
+     * @param was_miss whether the access missed at the protected level
+     * @param out proposals are appended here (not cleared)
+     */
+    virtual void observe(Addr addr, bool was_miss,
+                         std::vector<Addr>& out) = 0;
+
+    /** Model name for reports. */
+    virtual const char* name() const = 0;
+
+    /** Forget all training state. */
+    virtual void reset() = 0;
+
+    const PrefetcherStats& stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+  protected:
+    PrefetcherStats stats_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_PREFETCH_PREFETCHER_HH

@@ -1,0 +1,64 @@
+#include "prefetch/stream_prefetcher.hh"
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace cosim {
+
+StreamPrefetcher::StreamPrefetcher(const StreamPrefetcherParams& params)
+    : params_(params), table_(params.tableEntries)
+{
+    fatal_if(!isPowerOf2(params_.lineSize), "line size must be power of 2");
+    fatal_if(params_.tableEntries == 0, "stream table needs entries");
+}
+
+void
+StreamPrefetcher::observe(Addr addr, bool was_miss, std::vector<Addr>& out)
+{
+    ++stats_.observed;
+    if (!was_miss)
+        return;
+
+    unsigned line_bits = floorLog2(params_.lineSize);
+    Addr line = addr >> line_bits;
+    std::uint64_t region = addr >> params_.regionBits;
+    Entry& e = table_[region % table_.size()];
+
+    if (e.regionTag != region) {
+        e.regionTag = region;
+        e.lastLine = line;
+        e.direction = 0;
+        return;
+    }
+
+    std::int64_t delta = static_cast<std::int64_t>(line) -
+                         static_cast<std::int64_t>(e.lastLine);
+    e.lastLine = line;
+    if (delta == 0)
+        return;
+
+    int dir = delta > 0 ? 1 : -1;
+    if (e.direction != dir) {
+        e.direction = dir;
+        return;
+    }
+
+    ++stats_.trained;
+    for (unsigned d = 1; d <= params_.depth; ++d) {
+        std::int64_t target =
+            static_cast<std::int64_t>(line) + dir * static_cast<int>(d);
+        if (target < 0)
+            break;
+        out.push_back(static_cast<Addr>(target) << line_bits);
+        ++stats_.issued;
+    }
+}
+
+void
+StreamPrefetcher::reset()
+{
+    for (auto& e : table_)
+        e = Entry();
+}
+
+} // namespace cosim

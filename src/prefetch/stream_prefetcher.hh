@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Miss-triggered next-N-line stream prefetcher.
+ *
+ * A simpler contrast to the stride prefetcher, used by the ablation
+ * bench: on a miss it detects the stream direction from the last few
+ * misses in the same region and fetches the next @p depth lines.
+ */
+
+#ifndef COSIM_PREFETCH_STREAM_PREFETCHER_HH
+#define COSIM_PREFETCH_STREAM_PREFETCHER_HH
+
+#include "prefetch/prefetcher.hh"
+
+namespace cosim {
+
+/** Tuning knobs of the stream prefetcher. */
+struct StreamPrefetcherParams
+{
+    unsigned lineSize = 64;
+    unsigned regionBits = 12;
+    unsigned tableEntries = 32;
+    /** Lines fetched ahead on a confirmed stream. */
+    unsigned depth = 2;
+};
+
+/** See file comment. */
+class StreamPrefetcher : public Prefetcher
+{
+  public:
+    explicit StreamPrefetcher(
+        const StreamPrefetcherParams& params = StreamPrefetcherParams());
+
+    void observe(Addr addr, bool was_miss, std::vector<Addr>& out) override;
+    const char* name() const override { return "stream"; }
+    void reset() override;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t regionTag = ~std::uint64_t{0};
+        Addr lastLine = 0;
+        int direction = 0; ///< +1 ascending, -1 descending, 0 untrained
+    };
+
+    StreamPrefetcherParams params_;
+    std::vector<Entry> table_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_PREFETCH_STREAM_PREFETCHER_HH

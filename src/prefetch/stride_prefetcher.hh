@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Region-keyed stride prefetcher.
+ *
+ * Without program counters (the co-simulation sees only addresses on the
+ * bus, just as Dragonhead did), streams are identified by the memory
+ * region they walk: accesses are grouped by their 4 KB-aligned region,
+ * deltas within a region train a stride, and a confident entry prefetches
+ * `degree` strides ahead. Forward and backward strides both train --
+ * Section 4.4 notes the workloads stream "in forward and backward
+ * directions".
+ */
+
+#ifndef COSIM_PREFETCH_STRIDE_PREFETCHER_HH
+#define COSIM_PREFETCH_STRIDE_PREFETCHER_HH
+
+#include "prefetch/prefetcher.hh"
+
+namespace cosim {
+
+/** Tuning knobs of the stride prefetcher. */
+struct StridePrefetcherParams
+{
+    /** log2 of the region used as the stream key (default 4 KB). */
+    unsigned regionBits = 12;
+    /** Number of tracked streams (direct-mapped table). */
+    unsigned tableEntries = 64;
+    /** Confidence needed before prefetches are issued. */
+    unsigned threshold = 2;
+    /** Saturation value of the confidence counter. */
+    unsigned maxConfidence = 3;
+    /** How many strides ahead to prefetch once confident. */
+    unsigned degree = 2;
+};
+
+/** See file comment. */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    explicit StridePrefetcher(
+        const StridePrefetcherParams& params = StridePrefetcherParams());
+
+    void observe(Addr addr, bool was_miss, std::vector<Addr>& out) override;
+    const char* name() const override { return "stride"; }
+    void reset() override;
+
+    const StridePrefetcherParams& params() const { return params_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t regionTag = ~std::uint64_t{0};
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+    };
+
+    StridePrefetcherParams params_;
+    std::vector<Entry> table_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_PREFETCH_STRIDE_PREFETCHER_HH

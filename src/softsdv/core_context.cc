@@ -1,0 +1,12 @@
+#include "softsdv/core_context.hh"
+
+#include "base/logging.hh"
+
+namespace cosim {
+
+CoreContext::CoreContext(CpuModel* cpu) : cpu_(cpu)
+{
+    panic_if(cpu_ == nullptr, "CoreContext needs a core");
+}
+
+} // namespace cosim

@@ -1,0 +1,132 @@
+#include "trace/reuse_profiler.hh"
+
+#include <algorithm>
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace cosim {
+
+namespace {
+
+constexpr std::uint64_t exactLimit = 4096;
+
+} // namespace
+
+ReuseDistanceProfiler::ReuseDistanceProfiler(std::uint32_t line_size,
+                                             std::uint64_t max_accesses)
+    : maxAccesses_(max_accesses)
+{
+    fatal_if(!isPowerOf2(line_size), "line size must be a power of two");
+    fatal_if(max_accesses == 0, "need a nonzero access budget");
+    lineBits_ = floorLog2(line_size);
+    fenwick_.assign(max_accesses + 1, 0);
+    hist_.assign(64, 0);
+    exact_.assign(exactLimit, 0);
+}
+
+void
+ReuseDistanceProfiler::fenwickAdd(std::uint64_t pos, int delta)
+{
+    for (; pos < fenwick_.size(); pos += pos & (~pos + 1))
+        fenwick_[pos] = static_cast<std::uint32_t>(
+            static_cast<int64_t>(fenwick_[pos]) + delta);
+}
+
+std::uint64_t
+ReuseDistanceProfiler::fenwickSum(std::uint64_t pos) const
+{
+    std::uint64_t sum = 0;
+    for (; pos > 0; pos -= pos & (~pos + 1))
+        sum += fenwick_[pos];
+    return sum;
+}
+
+void
+ReuseDistanceProfiler::observe(const BusTransaction& txn)
+{
+    if (txn.kind == TxnKind::Message)
+        return;
+    access(txn.addr);
+}
+
+void
+ReuseDistanceProfiler::access(Addr addr)
+{
+    if (time_ >= maxAccesses_)
+        return; // budget exhausted; ignore the tail
+
+    Addr line = addr >> lineBits_;
+    std::uint64_t now = ++time_; // 1-indexed position
+
+    auto it = lastUse_.find(line);
+    if (it == lastUse_.end()) {
+        ++cold_;
+        lastUse_.emplace(line, now);
+        fenwickAdd(now, +1);
+        return;
+    }
+
+    std::uint64_t prev = it->second;
+    // Distinct lines touched strictly after prev: their last-use marks
+    // all lie in (prev, now).
+    std::uint64_t distance = fenwickSum(now - 1) - fenwickSum(prev);
+
+    if (distance < exactLimit)
+        ++exact_[distance];
+    ++hist_[distance == 0 ? 0 : floorLog2(distance)];
+
+    fenwickAdd(prev, -1);
+    fenwickAdd(now, +1);
+    it->second = now;
+}
+
+double
+ReuseDistanceProfiler::missRatioAt(std::uint64_t capacity_lines) const
+{
+    if (time_ == 0)
+        return 0.0;
+
+    // Hits = reuses with stack distance < capacity.
+    std::uint64_t hits = 0;
+    if (capacity_lines <= exactLimit) {
+        for (std::uint64_t d = 0; d < capacity_lines; ++d)
+            hits += exact_[d];
+    } else {
+        for (std::uint64_t d = 0; d < exactLimit; ++d)
+            hits += exact_[d];
+        // Above the exact range, interpolate within log2 buckets.
+        for (unsigned b = floorLog2(exactLimit); b < hist_.size(); ++b) {
+            std::uint64_t lo = std::uint64_t{1} << b;
+            std::uint64_t hi = lo << 1;
+            if (lo < exactLimit)
+                continue; // already counted exactly
+            if (hi <= capacity_lines) {
+                hits += hist_[b];
+            } else if (lo < capacity_lines) {
+                double frac = static_cast<double>(capacity_lines - lo) /
+                              static_cast<double>(hi - lo);
+                hits += static_cast<std::uint64_t>(
+                    frac * static_cast<double>(hist_[b]));
+            }
+        }
+    }
+    return 1.0 - static_cast<double>(hits) / static_cast<double>(time_);
+}
+
+std::uint64_t
+ReuseDistanceProfiler::workingSetLines(double slack) const
+{
+    double floor = time_ == 0
+        ? 0.0
+        : static_cast<double>(cold_) / static_cast<double>(time_);
+    std::uint64_t cap = 1;
+    while (cap < footprintLines() * 2) {
+        if (missRatioAt(cap) <= floor + slack)
+            return cap;
+        cap <<= 1;
+    }
+    return cap;
+}
+
+} // namespace cosim

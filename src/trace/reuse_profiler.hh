@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Configuration-independent working-set analysis via LRU stack
+ * distances.
+ *
+ * The paper's related work (Abandah & Davidson) analyzes shared-memory
+ * applications independently of any concrete cache configuration; the
+ * classic tool is the LRU stack-distance histogram: for each access,
+ * the number of *distinct* lines touched since the previous access to
+ * the same line. Because a fully-associative LRU cache of C lines hits
+ * exactly when the stack distance is < C, one profiling pass yields the
+ * complete miss-ratio-vs-capacity curve -- the envelope of a whole
+ * Figure-4 sweep.
+ *
+ * Implementation: timestamp per line + a Fenwick tree over access time
+ * marking which timestamps are the *most recent* use of their line;
+ * each lookup/update is O(log n).
+ */
+
+#ifndef COSIM_TRACE_REUSE_PROFILER_HH
+#define COSIM_TRACE_REUSE_PROFILER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/fsb.hh"
+
+namespace cosim {
+
+/** See file comment. */
+class ReuseDistanceProfiler : public BusSnooper
+{
+  public:
+    /**
+     * @param line_size granularity of the analysis
+     * @param max_accesses profiling stops (and further traffic is
+     *        ignored) after this many line accesses, bounding memory
+     */
+    explicit ReuseDistanceProfiler(std::uint32_t line_size = 64,
+                                   std::uint64_t max_accesses = 1 << 24);
+
+    /** Snoop a bus transaction (messages are ignored). */
+    void observe(const BusTransaction& txn) override;
+
+    /** Record one line access directly (for trace-free use). */
+    void access(Addr addr);
+
+    /** Line accesses profiled (excludes those past the cap). */
+    std::uint64_t accesses() const { return time_; }
+
+    /** First-touch (infinite-distance) accesses. */
+    std::uint64_t coldAccesses() const { return cold_; }
+
+    /** Distinct lines seen (the total footprint). */
+    std::uint64_t footprintLines() const { return lastUse_.size(); }
+
+    /**
+     * Histogram over log2 buckets: bucket b counts accesses with stack
+     * distance in [2^b, 2^(b+1)); bucket 0 also holds distance 0.
+     */
+    const std::vector<std::uint64_t>& histogram() const { return hist_; }
+
+    /**
+     * Miss ratio of a fully-associative LRU cache with @p capacity_lines
+     * lines, computed exactly from the recorded distances (cold misses
+     * count as misses).
+     */
+    double missRatioAt(std::uint64_t capacity_lines) const;
+
+    /**
+     * The smallest power-of-two capacity (in lines) whose LRU miss
+     * ratio is within @p slack of the cold-miss floor -- a working-set
+     * size estimate.
+     */
+    std::uint64_t workingSetLines(double slack = 0.02) const;
+
+    bool saturated() const { return time_ >= maxAccesses_; }
+
+  private:
+    void fenwickAdd(std::uint64_t pos, int delta);
+    std::uint64_t fenwickSum(std::uint64_t pos) const;
+
+    std::uint32_t lineBits_;
+    std::uint64_t maxAccesses_;
+
+    std::uint64_t time_ = 0;
+    std::uint64_t cold_ = 0;
+    std::unordered_map<Addr, std::uint64_t> lastUse_;
+    std::vector<std::uint32_t> fenwick_;
+    std::vector<std::uint64_t> hist_;
+    /** Exact counts for small distances (lines 0..4095). */
+    std::vector<std::uint64_t> exact_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_TRACE_REUSE_PROFILER_HH

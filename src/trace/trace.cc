@@ -1,0 +1,112 @@
+#include "trace/trace.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace cosim {
+
+namespace {
+
+constexpr char traceMagic[8] = {'D', 'H', 'T', 'R', 'A', 'C', 'E', '1'};
+
+struct TraceHeader
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t reserved;
+    std::uint64_t count;
+};
+
+static_assert(sizeof(TraceHeader) == 24, "unexpected header layout");
+
+} // namespace
+
+TraceRecord
+TraceRecord::fromTxn(const BusTransaction& txn)
+{
+    TraceRecord r;
+    r.addr = txn.addr;
+    r.size = txn.size;
+    r.core = txn.core;
+    r.kind = static_cast<std::uint8_t>(txn.kind);
+    return r;
+}
+
+BusTransaction
+TraceRecord::toTxn() const
+{
+    BusTransaction txn;
+    txn.addr = addr;
+    txn.size = size;
+    txn.core = core;
+    txn.kind = static_cast<TxnKind>(kind);
+    return txn;
+}
+
+void
+TraceCapture::observe(const BusTransaction& txn)
+{
+    records_.push_back(TraceRecord::fromTxn(txn));
+}
+
+void
+TraceCapture::save(const std::string& path) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    fatal_if(f == nullptr, "cannot open trace file '%s' for writing",
+             path.c_str());
+
+    TraceHeader hdr{};
+    std::memcpy(hdr.magic, traceMagic, sizeof(traceMagic));
+    hdr.version = 1;
+    hdr.count = records_.size();
+
+    bool ok = std::fwrite(&hdr, sizeof(hdr), 1, f) == 1;
+    if (ok && !records_.empty()) {
+        ok = std::fwrite(records_.data(), sizeof(TraceRecord),
+                         records_.size(), f) == records_.size();
+    }
+    std::fclose(f);
+    fatal_if(!ok, "short write to trace file '%s'", path.c_str());
+}
+
+std::vector<TraceRecord>
+loadTrace(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    fatal_if(f == nullptr, "cannot open trace file '%s'", path.c_str());
+
+    TraceHeader hdr{};
+    bool ok = std::fread(&hdr, sizeof(hdr), 1, f) == 1;
+    if (!ok || std::memcmp(hdr.magic, traceMagic, sizeof(traceMagic)) != 0 ||
+        hdr.version != 1) {
+        std::fclose(f);
+        fatal("'%s' is not a version-1 Dragonhead trace", path.c_str());
+    }
+
+    std::vector<TraceRecord> records(hdr.count);
+    if (hdr.count > 0) {
+        ok = std::fread(records.data(), sizeof(TraceRecord), hdr.count,
+                        f) == hdr.count;
+    }
+    std::fclose(f);
+    fatal_if(!ok, "trace file '%s' is truncated", path.c_str());
+    return records;
+}
+
+std::size_t
+replayTrace(const std::vector<TraceRecord>& records, BusSnooper& snooper,
+            std::size_t first, std::size_t count)
+{
+    if (first >= records.size())
+        return 0;
+    std::size_t last = count == 0 ? records.size()
+                                  : std::min(records.size(), first + count);
+    for (std::size_t i = first; i < last; ++i)
+        snooper.observe(records[i].toTxn());
+    return last - first;
+}
+
+} // namespace cosim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bus-transaction trace capture and replay.
+ *
+ * Run-to-completion co-simulation is what makes choosing representative
+ * regions possible (Section 1); traces are the mechanism: capture the
+ * regulated bus stream once, then replay slices of it through any cache
+ * configuration offline.
+ *
+ * The format is a little-endian binary stream: a 16-byte header
+ * ("DHTRACE1", version, record count) followed by fixed 16-byte records.
+ */
+
+#ifndef COSIM_TRACE_TRACE_HH
+#define COSIM_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/fsb.hh"
+
+namespace cosim {
+
+/** One serialized bus transaction. */
+struct TraceRecord
+{
+    Addr addr = 0;
+    std::uint32_t size = 0;
+    std::uint16_t core = 0;
+    std::uint8_t kind = 0; ///< TxnKind
+    std::uint8_t pad = 0;
+
+    static TraceRecord fromTxn(const BusTransaction& txn);
+    BusTransaction toTxn() const;
+};
+
+static_assert(sizeof(TraceRecord) == 16, "trace records must be 16 bytes");
+
+/** A snooper that records every transaction it sees into memory. */
+class TraceCapture : public BusSnooper
+{
+  public:
+    void observe(const BusTransaction& txn) override;
+
+    const std::vector<TraceRecord>& records() const { return records_; }
+    void clear() { records_.clear(); }
+
+    /** Persist to @p path; fatal() on I/O failure. */
+    void save(const std::string& path) const;
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+/** Load a trace written by TraceCapture::save; fatal() on bad files. */
+std::vector<TraceRecord> loadTrace(const std::string& path);
+
+/**
+ * Replay records [first, first+count) through @p snooper (a Dragonhead,
+ * a sweep bank adapter, ...). count == 0 means "to the end".
+ * @return number of records replayed
+ */
+std::size_t replayTrace(const std::vector<TraceRecord>& records,
+                        BusSnooper& snooper, std::size_t first = 0,
+                        std::size_t count = 0);
+
+} // namespace cosim
+
+#endif // COSIM_TRACE_TRACE_HH

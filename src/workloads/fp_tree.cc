@@ -1,0 +1,116 @@
+#include "workloads/fp_tree.hh"
+
+#include <cstddef>
+
+#include "base/logging.hh"
+
+namespace cosim {
+
+void
+FpTree::init(SimAllocator& alloc, const std::string& name,
+             std::uint32_t capacity, std::uint32_t n_items)
+{
+    fatal_if(capacity < 2, "FP-tree needs room for a root and a node");
+    nodes_.init(alloc, name + ".nodes", capacity);
+    headers_.init(alloc, name + ".headers", n_items);
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        headers_.host(i) = nil;
+    nodes_.host(0) = FpNode(); // the item-less root
+    used_ = 1;
+}
+
+void
+FpTree::reset(CoreContext& ctx)
+{
+    std::uint32_t* hdr =
+        headers_.writeBlock(ctx, 0, headers_.size());
+    std::fill_n(hdr, headers_.size(), nil);
+    nodes_.write(ctx, 0, FpNode());
+    used_ = 1;
+}
+
+bool
+FpTree::insert(CoreContext& ctx, const std::uint16_t* items,
+               std::size_t n, std::uint32_t count)
+{
+    std::uint32_t cur = 0;
+    std::uint64_t scanned = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        std::uint16_t item = items[k];
+
+        // Search the child list for this item.
+        FpNode cur_node = nodes_.read(ctx, cur);
+        std::uint32_t child = cur_node.firstChild;
+        std::uint32_t found = nil;
+        std::uint32_t prev = nil;
+        while (child != nil) {
+            FpNode c = nodes_.read(ctx, child);
+            ++scanned;
+            if (c.item == item) {
+                found = child;
+                break;
+            }
+            prev = child;
+            child = c.nextSibling;
+        }
+
+        if (found != nil) {
+            // Bump the shared-prefix count in place.
+            FpNode& host = nodes_.host(found);
+            host.count += count;
+            ctx.store(nodes_.addrOf(found) + offsetof(FpNode, count), 4);
+            // Move-to-front: frequent children (which Zipf-skewed
+            // transactions revisit constantly) stay at the head of the
+            // sibling list.
+            if (prev != nil) {
+                nodes_.host(prev).nextSibling = host.nextSibling;
+                host.nextSibling = nodes_.host(cur).firstChild;
+                nodes_.host(cur).firstChild = found;
+                ctx.store(nodes_.addrOf(prev) +
+                              offsetof(FpNode, nextSibling), 4);
+                ctx.store(nodes_.addrOf(found) +
+                              offsetof(FpNode, nextSibling), 4);
+                ctx.store(nodes_.addrOf(cur) +
+                              offsetof(FpNode, firstChild), 4);
+            }
+            cur = found;
+            continue;
+        }
+
+        // Allocate and splice a new node at the head of the child list
+        // and of the item's node-link chain.
+        if (used_ >= nodes_.size())
+            return false;
+        std::uint32_t idx = used_++;
+
+        FpNode fresh;
+        fresh.item = item;
+        fresh.count = count;
+        fresh.parent = cur;
+        fresh.nextSibling = cur_node.firstChild;
+        fresh.nodeLink = headers_.read(ctx, item);
+        nodes_.write(ctx, idx, fresh);
+
+        nodes_.host(cur).firstChild = idx;
+        ctx.store(nodes_.addrOf(cur) + offsetof(FpNode, firstChild), 4);
+        headers_.write(ctx, item, idx);
+
+        cur = idx;
+    }
+    ctx.compute(5 * scanned + 10 * n + 4);
+    return true;
+}
+
+std::uint64_t
+FpTree::hostChainSupport(std::uint16_t item) const
+{
+    std::uint64_t total = 0;
+    std::uint32_t node = headers_.host(item);
+    while (node != nil) {
+        total += nodes_.host(node).count;
+        node = nodes_.host(node).nodeLink;
+    }
+    return total;
+}
+
+} // namespace cosim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * FP-tree: the prefix-tree structure at the heart of FP-growth
+ * (Section 2.3, the FP-Zhu package's three stages: first scan, FP-tree
+ * construction, mining).
+ *
+ * Nodes live in an instrumented pool (index-linked, 24 bytes each) so
+ * that every pointer chase during construction and mining is visible to
+ * the cache models: the global tree built from the transaction database
+ * is the FIMI workload's shared ~16 MB working set, and the small
+ * conditional trees rebuilt per mined item are its private per-thread
+ * data.
+ */
+
+#ifndef COSIM_WORKLOADS_FP_TREE_HH
+#define COSIM_WORKLOADS_FP_TREE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "softsdv/guest.hh"
+#include "workloads/sim_array.hh"
+
+namespace cosim {
+
+/** One FP-tree node (index-linked; nil = no link). */
+struct FpNode
+{
+    std::uint16_t item = 0xffff;
+    std::uint16_t pad = 0;
+    std::uint32_t count = 0;
+    std::uint32_t parent = 0xffffffff;
+    std::uint32_t firstChild = 0xffffffff;
+    std::uint32_t nextSibling = 0xffffffff;
+    std::uint32_t nodeLink = 0xffffffff;
+};
+
+static_assert(sizeof(FpNode) == 24, "FpNode must stay 24 bytes");
+
+/** See file comment. */
+class FpTree
+{
+  public:
+    static constexpr std::uint32_t nil = 0xffffffff;
+
+    FpTree() = default;
+
+    /**
+     * Allocate the node pool and header table in simulated memory.
+     * @param capacity maximum nodes (including the root)
+     * @param n_items header-table width
+     */
+    void init(SimAllocator& alloc, const std::string& name,
+              std::uint32_t capacity, std::uint32_t n_items);
+
+    /**
+     * Drop all nodes and headers back to an empty tree (instrumented:
+     * clearing the header table is real work conditional trees redo for
+     * every mined item).
+     */
+    void reset(CoreContext& ctx);
+
+    /**
+     * Insert a transaction path (items must be pre-filtered and sorted
+     * in descending global frequency) with multiplicity @p count.
+     * @return false if the pool is exhausted (the caller skips the
+     * insert; conditional trees use this as their memory bound)
+     */
+    bool insert(CoreContext& ctx, const std::uint16_t* items,
+                std::size_t n, std::uint32_t count);
+
+    /** Instrumented node read (24 B -> three 8 B loads). */
+    FpNode
+    readNode(CoreContext& ctx, std::uint32_t idx) const
+    {
+        return nodes_.read(ctx, idx);
+    }
+
+    /** Instrumented header-table read. */
+    std::uint32_t
+    headerLink(CoreContext& ctx, std::uint16_t item) const
+    {
+        return headers_.read(ctx, item);
+    }
+
+    std::uint32_t nodesUsed() const { return used_; }
+    std::uint32_t capacity() const
+    {
+        return static_cast<std::uint32_t>(nodes_.size());
+    }
+    std::uint32_t nItems() const
+    {
+        return static_cast<std::uint32_t>(headers_.size());
+    }
+
+    /** Bytes of simulated memory the used nodes occupy. */
+    std::uint64_t usedBytes() const
+    {
+        return static_cast<std::uint64_t>(used_) * sizeof(FpNode);
+    }
+
+    /** @name Host-side (uninstrumented) access for verification @{ */
+    const FpNode& hostNode(std::uint32_t idx) const
+    {
+        return nodes_.host(idx);
+    }
+    std::uint32_t hostHeader(std::uint16_t item) const
+    {
+        return headers_.host(item);
+    }
+    /** Sum of counts along an item's node-link chain. */
+    std::uint64_t hostChainSupport(std::uint16_t item) const;
+    /** @} */
+
+  private:
+    SimArray<FpNode> nodes_;
+    SimArray<std::uint32_t> headers_;
+    std::uint32_t used_ = 0;
+};
+
+} // namespace cosim
+
+#endif // COSIM_WORKLOADS_FP_TREE_HH

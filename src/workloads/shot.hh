@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SHOT: video shot-boundary detection (Section 2.6).
+ *
+ * Each thread owns a segment of the clip and, frame by frame, "decodes"
+ * (synthesizes) the frame into its private buffer, computes the 48-bin
+ * RGB colour histogram (16 bins per channel) and the pixel-wise
+ * difference against the previous frame, and declares a cut when the
+ * histogram distance jumps -- the two features the paper's shot detector
+ * uses.
+ *
+ * Memory structure: two ~1.7 MB frame buffers per thread plus scratch
+ * (~3.5 MB private per thread; "about 4MB per thread" in the paper), and
+ * almost no shared data -- so the working set scales linearly with the
+ * core count (32 -> 64 -> 128 MB), the behaviour Figures 4-6 report.
+ */
+
+#ifndef COSIM_WORKLOADS_SHOT_HH
+#define COSIM_WORKLOADS_SHOT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "softsdv/guest.hh"
+#include "workloads/data/video.hh"
+#include "workloads/sim_array.hh"
+
+namespace cosim {
+
+/** Scaled input description. */
+struct ShotParams
+{
+    synth::VideoParams video{720, 576, 64, 9};
+    std::size_t rowsPerStep = 48;
+    double cutThreshold = 0.30; ///< normalized histogram distance
+
+    static ShotParams scaled(double scale);
+};
+
+/** See file comment. */
+class ShotWorkload : public Workload
+{
+  public:
+    explicit ShotWorkload(
+        const ShotParams& params = ShotParams::scaled(1.0));
+
+    std::string name() const override { return "SHOT"; }
+    std::string description() const override
+    {
+        return "shot-boundary detection: colour histogram + pixel "
+               "difference over synthesized video";
+    }
+
+    void setUp(const WorkloadConfig& cfg, SimAllocator& alloc) override;
+    std::unique_ptr<ThreadTask> createThread(unsigned tid) override;
+    bool verify() override;
+
+    const ShotParams& params() const { return params_; }
+
+    /** Frames detected as cuts (post-run, ascending). */
+    std::vector<unsigned> detectedCuts() const;
+
+    /** Frames that should be detected given the segmentation. */
+    std::vector<unsigned> expectedCuts() const;
+
+  private:
+    friend class ShotTask;
+
+    ShotParams params_;
+    unsigned nThreads_ = 1;
+    std::uint64_t seed_ = 0;
+
+    std::unique_ptr<synth::FrameSynthesizer> synth_;
+
+    /** The compressed input stream (shared, read during decode). */
+    SimArray<std::uint8_t> bitstream_;
+
+    /** Private per-thread buffers. */
+    struct ThreadBuffers
+    {
+        SimArray<synth::Pixel> frameA;
+        SimArray<synth::Pixel> frameB;
+        SimArray<std::uint32_t> hist;     ///< 48-bin RGB histogram
+        SimArray<std::uint32_t> prevHist;
+    };
+    std::vector<ThreadBuffers> buffers_;
+
+    std::vector<std::vector<unsigned>> cutsPerThread_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_WORKLOADS_SHOT_HH

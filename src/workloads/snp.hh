@@ -1,0 +1,95 @@
+/**
+ * @file
+ * SNP: Bayesian-network structure learning by hill climbing.
+ *
+ * Section 2.1: the SNP workload learns the statistical relationships
+ * between single-nucleotide-polymorphism sites with a hill-climbing
+ * search; each candidate structure move is scored against the genotype
+ * data. Our implementation plants a Markov chain over the variables,
+ * scores candidate parent edges with a G-statistic (a log-likelihood
+ * ratio over the 3x3 genotype contingency table, the core of BIC/K2
+ * family scores), memoizes scores in a score cache, and hill-climbs on
+ * the best-scoring edges.
+ *
+ * Memory structure (matching the paper's two working-set knees):
+ *  - the full genotype matrix (shared, ~128 MB at scale 1, streamed
+ *    column-wise during scoring), and
+ *  - the "hot" candidate-parent columns + score cache (~16 MB at scale
+ *    1, re-touched by every candidate evaluation).
+ * All threads share both structures, so cache behaviour is insensitive
+ * to the thread count, as Figures 4-6 report.
+ */
+
+#ifndef COSIM_WORKLOADS_SNP_HH
+#define COSIM_WORKLOADS_SNP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "softsdv/guest.hh"
+#include "workloads/sim_array.hh"
+
+namespace cosim {
+
+/** Scaled input description. */
+struct SnpParams
+{
+    std::size_t nVars = 512;
+    std::size_t nSamples = 256 * 1024; ///< per variable; 128 MB total
+    std::size_t hotVars = 24;          ///< ~6 MB of hot parent columns
+    unsigned iterations = 3;
+    double dependence = 0.9;
+    std::size_t blockSamples = 4096;   ///< samples scanned per step()
+
+    /** Derive the reproduction input at @p scale (1.0 = paper-like). */
+    static SnpParams scaled(double scale);
+
+    std::uint64_t genotypeBytes() const { return nVars * nSamples; }
+};
+
+/** See file comment. */
+class SnpWorkload : public Workload
+{
+  public:
+    explicit SnpWorkload(const SnpParams& params = SnpParams::scaled(1.0));
+
+    std::string name() const override { return "SNP"; }
+    std::string description() const override
+    {
+        return "Bayesian network structure learning (hill climbing) over "
+               "a genotype matrix";
+    }
+
+    void setUp(const WorkloadConfig& cfg, SimAllocator& alloc) override;
+    std::unique_ptr<ThreadTask> createThread(unsigned tid) override;
+    bool verify() override;
+    void tearDown() override;
+
+    const SnpParams& params() const { return params_; }
+
+    /** Host-side score recomputation (used by verify and tests). */
+    double referenceScore(std::size_t v, std::size_t h) const;
+
+  private:
+    friend class SnpTask;
+
+    /** Hot column paired with @p v in @p iter (iter 0 pairs the chain). */
+    std::size_t hotPartner(std::size_t v, unsigned iter) const;
+
+    SnpParams params_;
+    unsigned nThreads_ = 1;
+    std::uint64_t seed_ = 0;
+
+    /** Variable-major genotype matrix: column v = samples of variable v. */
+    SimArray<std::uint8_t> geno_;
+    /** Memoized G-scores, nVars x hotVars. */
+    SimMatrix<float> scoreCache_;
+
+    /** Best (score, v, h) found per thread, for verification. */
+    std::vector<double> bestScore_;
+    std::vector<std::size_t> bestVar_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_WORKLOADS_SNP_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * VIEWTYPE: sports-video view-type classification (Section 2.6).
+ *
+ * For each key frame: decode, convert to HSV hue, adaptively train the
+ * playfield's dominant colour by accumulating the hue histogram across
+ * frames, segment the playfield mask by that dominant colour, run
+ * connected-component analysis on the mask, and classify the frame as
+ * global / medium / close-up / out-of-view from the dominant playfield
+ * component's area -- the processing chain the paper describes.
+ *
+ * Memory structure: each thread's frame, hue and label buffers are
+ * private (~1 MB per thread, the paper's figure); only the accumulated
+ * training histogram is shared. The working set therefore scales
+ * linearly with the core count.
+ */
+
+#ifndef COSIM_WORKLOADS_VIEWTYPE_HH
+#define COSIM_WORKLOADS_VIEWTYPE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "softsdv/guest.hh"
+#include "workloads/data/video.hh"
+#include "workloads/sim_array.hh"
+
+namespace cosim {
+
+/** Scaled input description. */
+struct ViewtypeParams
+{
+    synth::VideoParams video{360, 288, 0, 1};
+    unsigned nKeyframes = 48;
+    std::size_t rowsPerStep = 48;
+    unsigned hueTolerance = 10;
+
+    static ViewtypeParams scaled(double scale);
+};
+
+/** See file comment. */
+class ViewtypeWorkload : public Workload
+{
+  public:
+    explicit ViewtypeWorkload(
+        const ViewtypeParams& params = ViewtypeParams::scaled(1.0));
+
+    std::string name() const override { return "VIEWTYPE"; }
+    std::string description() const override
+    {
+        return "view-type classification: HSV dominant-colour playfield "
+               "segmentation + connected components";
+    }
+
+    void setUp(const WorkloadConfig& cfg, SimAllocator& alloc) override;
+    std::unique_ptr<ThreadTask> createThread(unsigned tid) override;
+    bool verify() override;
+
+    const ViewtypeParams& params() const { return params_; }
+
+    /** Classified view type per key frame (post-run). */
+    const std::vector<synth::ViewType>& classified() const
+    {
+        return classified_;
+    }
+
+    /** Ground truth per key frame. */
+    synth::ViewType plantedView(unsigned keyframe) const;
+
+    /** Fraction of key frames classified correctly (post-run). */
+    double accuracy() const;
+
+  private:
+    friend class ViewtypeTask;
+
+    /** Video frame index sampled by key frame @p k. */
+    unsigned frameOf(unsigned k) const
+    {
+        return k * params_.video.shotLength;
+    }
+
+    ViewtypeParams params_;
+    unsigned nThreads_ = 1;
+
+    std::unique_ptr<synth::FrameSynthesizer> synth_;
+
+    /** Shared adaptive training histogram (256 hue bins). */
+    SimArray<std::uint32_t> hueHist_;
+
+    /** Private per-thread buffers. */
+    struct ThreadBuffers
+    {
+        SimArray<synth::Pixel> frame;
+        SimArray<std::uint8_t> hue;
+        SimArray<std::uint8_t> mask;
+        SimArray<std::uint32_t> labels;
+        SimArray<std::uint32_t> parent; ///< union-find forest
+        SimArray<std::uint32_t> compSize;
+    };
+    std::vector<ThreadBuffers> buffers_;
+
+    std::vector<synth::ViewType> classified_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_WORKLOADS_VIEWTYPE_HH

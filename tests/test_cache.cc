@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Unit and property tests for the cache model and replacement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/random.hh"
+#include "base/units.hh"
+#include "cache/cache.hh"
+#include "cache/sweep_bank.hh"
+
+namespace cosim {
+namespace {
+
+CacheParams
+smallCache(std::uint64_t size = 1024, std::uint32_t line = 64,
+           std::uint32_t assoc = 2, ReplPolicy repl = ReplPolicy::LRU)
+{
+    CacheParams p;
+    p.name = "test";
+    p.size = size;
+    p.lineSize = line;
+    p.assoc = assoc;
+    p.repl = repl;
+    return p;
+}
+
+TEST(Cache, GeometryDerivation)
+{
+    Cache c(smallCache(32 * KiB, 64, 8));
+    EXPECT_EQ(c.params().sets(), 64u);
+    EXPECT_EQ(c.lineAddr(0x12345), 0x12340u);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallCache());
+    auto first = c.access(0x100, false);
+    EXPECT_FALSE(first.hit);
+    auto second = c.access(0x13f, false); // same 64B line
+    EXPECT_TRUE(second.hit);
+    auto third = c.access(0x140, false); // next line
+    EXPECT_FALSE(third.hit);
+    EXPECT_EQ(c.stats().accesses, 3u);
+    EXPECT_EQ(c.stats().misses, 2u);
+    EXPECT_EQ(c.stats().hits(), 1u);
+}
+
+TEST(Cache, ReadWriteCounters)
+{
+    Cache c(smallCache());
+    c.access(0x0, false);
+    c.access(0x0, true);
+    c.access(0x40, true);
+    EXPECT_EQ(c.stats().reads, 1u);
+    EXPECT_EQ(c.stats().writes, 2u);
+    EXPECT_EQ(c.stats().readMisses, 1u);
+    EXPECT_EQ(c.stats().writeMisses, 1u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2-way, set 0: lines at stride sets*64.
+    CacheParams p = smallCache(1024, 64, 2); // 8 sets
+    Cache c(p);
+    Addr stride = 8 * 64;
+    c.access(0 * stride, false);
+    c.access(1 * stride, false);
+    c.access(0 * stride, false); // refresh line 0
+    auto out = c.access(2 * stride, false);
+    EXPECT_TRUE(out.evicted);
+    EXPECT_EQ(out.victimAddr, 1 * stride); // LRU victim is line 1
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(stride));
+    EXPECT_TRUE(c.probe(2 * stride));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    CacheParams p = smallCache(1024, 64, 2);
+    Cache c(p);
+    Addr stride = 8 * 64;
+    c.access(0, true); // dirty
+    c.access(stride, false);
+    auto out = c.access(2 * stride, false); // evicts dirty line 0
+    EXPECT_TRUE(out.evicted);
+    EXPECT_TRUE(out.evictedDirty);
+    EXPECT_EQ(out.victimAddr, 0u);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, VictimAddressReconstruction)
+{
+    CacheParams p = smallCache(4096, 64, 1); // direct-mapped, 64 sets
+    Cache c(p);
+    Addr a = 0x7f3240; // arbitrary
+    c.access(a, true);
+    Addr conflicting = a + 64 * 64; // same set, different tag
+    auto out = c.access(conflicting, false);
+    EXPECT_TRUE(out.evicted);
+    EXPECT_EQ(out.victimAddr, c.lineAddr(a));
+}
+
+TEST(Cache, InvalidateAndFlush)
+{
+    Cache c(smallCache());
+    c.access(0x80, true);
+    EXPECT_TRUE(c.probe(0x80));
+    EXPECT_TRUE(c.invalidate(0x80)); // was dirty
+    EXPECT_FALSE(c.probe(0x80));
+    EXPECT_FALSE(c.invalidate(0x80)); // already gone
+
+    c.access(0x100, false);
+    c.access(0x200, false);
+    EXPECT_GT(c.linesValid(), 0u);
+    c.flush();
+    EXPECT_EQ(c.linesValid(), 0u);
+}
+
+TEST(Cache, PrefetchFillSemantics)
+{
+    Cache c(smallCache());
+    EXPECT_TRUE(c.prefetchFill(0x1000));
+    EXPECT_FALSE(c.prefetchFill(0x1000)); // already present
+    EXPECT_EQ(c.stats().prefetchFills, 1u);
+
+    auto out = c.access(0x1000, false);
+    EXPECT_TRUE(out.hit);
+    EXPECT_TRUE(out.firstHitOnPrefetch);
+    EXPECT_EQ(c.stats().usefulPrefetches, 1u);
+
+    auto again = c.access(0x1000, false);
+    EXPECT_TRUE(again.hit);
+    EXPECT_FALSE(again.firstHitOnPrefetch); // flag consumed
+    EXPECT_EQ(c.stats().usefulPrefetches, 1u);
+}
+
+TEST(Cache, FullyAssociativeHoldsExactlyItsCapacity)
+{
+    CacheParams p = smallCache(16 * 64, 64, 16); // 1 set, 16 ways
+    Cache c(p);
+    for (Addr a = 0; a < 16 * 64; a += 64)
+        c.access(a, false);
+    EXPECT_EQ(c.linesValid(), 16u);
+    for (Addr a = 0; a < 16 * 64; a += 64)
+        EXPECT_TRUE(c.access(a, false).hit);
+    c.access(16 * 64, false);
+    EXPECT_EQ(c.linesValid(), 16u); // one line replaced, not grown
+}
+
+TEST(Cache, StatsReset)
+{
+    Cache c(smallCache());
+    c.access(0, false);
+    c.resetStats();
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_TRUE(c.probe(0)); // contents survive a stats reset
+}
+
+// --------------------------------------------------- LRU stack property
+
+/**
+ * The inclusion (stack) property of LRU: for caches with the same line
+ * size and set count, a cache with larger associativity never misses
+ * more. We check the stronger same-stream comparison across a range of
+ * associativities using a shared random-ish trace.
+ */
+class LruStackProperty : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(LruStackProperty, MoreWaysNeverMoreMisses)
+{
+    std::uint32_t small_ways = GetParam();
+    std::uint32_t big_ways = small_ways * 2;
+    const std::uint32_t sets = 16;
+
+    CacheParams small_p = smallCache(
+        static_cast<std::uint64_t>(sets) * 64 * small_ways, 64,
+        small_ways);
+    CacheParams big_p = smallCache(
+        static_cast<std::uint64_t>(sets) * 64 * big_ways, 64, big_ways);
+    Cache small_c(small_p);
+    Cache big_c(big_p);
+
+    Rng rng(31 + small_ways);
+    for (int i = 0; i < 20000; ++i) {
+        // Mix of streaming and hot-set reuse.
+        Addr a = (rng.nextBool(0.5) ? rng.nextBounded(64)
+                                    : rng.nextBounded(4096)) *
+                 64;
+        small_c.access(a, rng.nextBool(0.3));
+        big_c.access(a, false);
+    }
+    EXPECT_LE(big_c.stats().misses, small_c.stats().misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativities, LruStackProperty,
+                         ::testing::Values(1, 2, 4, 8));
+
+/**
+ * LRU inclusion across cache *sizes* (same line, same associativity
+ * scaling by sets is not stack-inclusive in general, so we compare
+ * fully-associative caches where LRU inclusion is exact).
+ */
+TEST(CacheProperty, FullyAssociativeLruInclusion)
+{
+    CacheParams small_p = smallCache(8 * 64, 64, 8);   // 8 lines
+    CacheParams big_p = smallCache(32 * 64, 64, 32);   // 32 lines
+    Cache small_c(small_p);
+    Cache big_c(big_p);
+
+    Rng rng(97);
+    for (int i = 0; i < 30000; ++i) {
+        Addr a = rng.nextBounded(64) * 64;
+        auto s = small_c.access(a, false);
+        auto b = big_c.access(a, false);
+        // Inclusion: whatever hits in the small cache hits in the big.
+        if (s.hit)
+            EXPECT_TRUE(b.hit);
+    }
+    EXPECT_LE(big_c.stats().misses, small_c.stats().misses);
+}
+
+// ----------------------------------------------- replacement policies
+
+class ReplPolicySuite : public ::testing::TestWithParam<ReplPolicy>
+{};
+
+TEST_P(ReplPolicySuite, CachePlaysATraceWithoutGrowing)
+{
+    CacheParams p = smallCache(4 * KiB, 64, 4, GetParam());
+    Cache c(p);
+    Rng rng(5);
+    for (int i = 0; i < 50000; ++i)
+        c.access(rng.nextBounded(1 << 20), rng.nextBool(0.3));
+    EXPECT_LE(c.linesValid(), p.size / p.lineSize);
+    EXPECT_EQ(c.stats().accesses, 50000u);
+    EXPECT_GT(c.stats().misses, 0u);
+}
+
+TEST_P(ReplPolicySuite, HotSetStaysResident)
+{
+    // A working set equal to the cache size must mostly hit once warm,
+    // under every policy, when accessed round-robin... except Random and
+    // FIFO-with-streaming can thrash; so only check it stays functional
+    // and the miss rate is below the cold-miss-only streaming case.
+    CacheParams p = smallCache(4 * KiB, 64, 4, GetParam());
+    Cache c(p);
+    const int lines = 64; // exactly the cache capacity
+    for (int pass = 0; pass < 50; ++pass)
+        for (int l = 0; l < lines; ++l)
+            c.access(static_cast<Addr>(l) * 64, false);
+    double mr = c.stats().missRate();
+    if (GetParam() == ReplPolicy::LRU || GetParam() == ReplPolicy::FIFO) {
+        // Round-robin over a set-balanced working set is the friendly
+        // case: only cold misses.
+        EXPECT_NEAR(mr, 64.0 / (50.0 * 64.0), 1e-9);
+    } else {
+        EXPECT_LT(mr, 0.5);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ReplPolicySuite,
+    ::testing::Values(ReplPolicy::LRU, ReplPolicy::FIFO,
+                      ReplPolicy::Random, ReplPolicy::TreePLRU,
+                      ReplPolicy::NRU),
+    [](const ::testing::TestParamInfo<ReplPolicy>& info) {
+        return std::string(toString(info.param));
+    });
+
+TEST(Replacement, ParseNames)
+{
+    EXPECT_EQ(parseReplPolicy("lru"), ReplPolicy::LRU);
+    EXPECT_EQ(parseReplPolicy("LRU"), ReplPolicy::LRU);
+    EXPECT_EQ(parseReplPolicy("fifo"), ReplPolicy::FIFO);
+    EXPECT_EQ(parseReplPolicy("plru"), ReplPolicy::TreePLRU);
+    EXPECT_EQ(parseReplPolicy("nru"), ReplPolicy::NRU);
+    EXPECT_EQ(parseReplPolicy("random"), ReplPolicy::Random);
+}
+
+TEST(Replacement, TreePlruNeverVictimizesMostRecent)
+{
+    // Tree-PLRU approximates LRU; its guaranteed property is that the
+    // victim never sits on the most recently touched way's tree path.
+    auto state = ReplacementState::create(ReplPolicy::TreePLRU, 1, 8);
+    for (std::uint32_t w = 0; w < 8; ++w)
+        state->fill(0, w);
+    for (std::uint32_t w = 0; w < 8; ++w) {
+        state->touch(0, w);
+        EXPECT_NE(state->victim(0), w);
+    }
+}
+
+TEST(Replacement, TreePlruRoundRobinTouchCyclesVictims)
+{
+    auto state = ReplacementState::create(ReplPolicy::TreePLRU, 1, 4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        state->fill(0, w);
+    // After filling 0..3 in order, the stale half is the low one.
+    EXPECT_EQ(state->victim(0), 0u);
+}
+
+TEST(Replacement, LruExactOrder)
+{
+    auto state = ReplacementState::create(ReplPolicy::LRU, 1, 4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        state->fill(0, w);
+    state->touch(0, 0); // order now 1, 2, 3, 0
+    EXPECT_EQ(state->victim(0), 1u);
+    state->touch(0, 1);
+    EXPECT_EQ(state->victim(0), 2u);
+}
+
+TEST(Replacement, FifoIgnoresTouches)
+{
+    auto state = ReplacementState::create(ReplPolicy::FIFO, 1, 4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        state->fill(0, w);
+    state->touch(0, 0);
+    state->touch(0, 0);
+    EXPECT_EQ(state->victim(0), 0u); // oldest fill regardless of touches
+}
+
+TEST(Replacement, NruFindsUnreferenced)
+{
+    auto state = ReplacementState::create(ReplPolicy::NRU, 1, 4);
+    state->fill(0, 0);
+    state->fill(0, 1);
+    EXPECT_EQ(state->victim(0), 2u); // first never-referenced way
+}
+
+// ------------------------------------------------------------ sweep bank
+
+TEST(SweepBank, MatchesIndividualCaches)
+{
+    CacheSweepBank bank;
+    std::vector<CacheParams> configs = {
+        smallCache(1 * KiB, 64, 2), smallCache(4 * KiB, 64, 4),
+        smallCache(16 * KiB, 128, 8)};
+    for (const auto& cfg : configs)
+        bank.addConfig(cfg);
+
+    std::vector<Cache> solo;
+    for (const auto& cfg : configs)
+        solo.emplace_back(cfg);
+
+    Rng rng(41);
+    for (int i = 0; i < 30000; ++i) {
+        Addr a = rng.nextBounded(1 << 16);
+        bool w = rng.nextBool(0.25);
+        bank.access(a, w);
+        for (auto& c : solo)
+            c.access(a, w);
+    }
+
+    auto misses = bank.missCounts();
+    ASSERT_EQ(misses.size(), solo.size());
+    for (std::size_t i = 0; i < solo.size(); ++i) {
+        EXPECT_EQ(misses[i], solo[i].stats().misses);
+        EXPECT_DOUBLE_EQ(bank.missRates()[i], solo[i].stats().missRate());
+    }
+}
+
+TEST(SweepBank, BiggerCachesMissLess)
+{
+    CacheSweepBank bank;
+    for (std::uint64_t kb : {1, 2, 4, 8, 16})
+        bank.addConfig(smallCache(kb * KiB, 64, 4));
+    Rng rng(43);
+    for (int i = 0; i < 50000; ++i)
+        bank.access(rng.nextBounded(12 * KiB), false);
+    auto misses = bank.missCounts();
+    for (std::size_t i = 1; i < misses.size(); ++i)
+        EXPECT_LE(misses[i], misses[i - 1]);
+    // 16 KB fully captures the 12 KB working set: only cold misses.
+    EXPECT_EQ(misses.back(), 12 * KiB / 64);
+}
+
+TEST(SweepBank, ResetStats)
+{
+    CacheSweepBank bank;
+    bank.addConfig(smallCache());
+    bank.access(0, false);
+    EXPECT_EQ(bank.missCounts()[0], 1u);
+    bank.resetStats();
+    EXPECT_EQ(bank.missCounts()[0], 0u);
+}
+
+} // namespace
+} // namespace cosim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the bench harness: option parsing, output dirs, and a tiny
+ * end-to-end sweep through the SweepRunner path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sys/stat.h>
+
+#include "base/units.hh"
+#include "harness/report.hh"
+#include "harness/sweep_runner.hh"
+
+namespace cosim {
+namespace {
+
+BenchOptions
+parse(std::vector<std::string> args)
+{
+    std::vector<char*> argv;
+    static std::string prog = "bench";
+    argv.push_back(prog.data());
+    for (auto& a : args)
+        argv.push_back(a.data());
+    return parseBenchArgs(static_cast<int>(argv.size()), argv.data(),
+                          "test");
+}
+
+TEST(BenchOptions, Defaults)
+{
+    BenchOptions o = parse({});
+    EXPECT_DOUBLE_EQ(o.scale, 1.0);
+    EXPECT_EQ(o.seed, 42u);
+    EXPECT_EQ(o.workloads.size(), 8u);
+    EXPECT_EQ(o.outDir, "results");
+    EXPECT_TRUE(o.strictVerify);
+}
+
+TEST(BenchOptions, ScaleAndQuick)
+{
+    EXPECT_DOUBLE_EQ(parse({"--scale=0.25"}).scale, 0.25);
+    EXPECT_DOUBLE_EQ(parse({"--quick"}).scale, 0.05);
+}
+
+TEST(BenchOptions, WorkloadSubset)
+{
+    BenchOptions o = parse({"--workloads=FIMI, MDS"});
+    ASSERT_EQ(o.workloads.size(), 2u);
+    EXPECT_EQ(o.workloads[0], "FIMI");
+    EXPECT_EQ(o.workloads[1], "MDS");
+}
+
+TEST(BenchOptions, SeedOutAndVerify)
+{
+    BenchOptions o =
+        parse({"--seed=7", "--out=/tmp/x", "--no-verify"});
+    EXPECT_EQ(o.seed, 7u);
+    EXPECT_EQ(o.outDir, "/tmp/x");
+    EXPECT_FALSE(o.strictVerify);
+}
+
+TEST(BenchOptions, EnsureOutputDirCreates)
+{
+    std::string dir = ::testing::TempDir() + "cosim_outdir_test";
+    std::remove(dir.c_str());
+    ensureOutputDir(dir);
+    struct stat st{};
+    ASSERT_EQ(stat(dir.c_str(), &st), 0);
+    EXPECT_TRUE(S_ISDIR(st.st_mode));
+    ensureOutputDir(dir); // idempotent
+    rmdir(dir.c_str());
+}
+
+TEST(SweepRunner, TinyEndToEndFigure)
+{
+    // A miniature version of the Figure 4 path: 2 cores, the real LLC
+    // sweep emulators, one small workload.
+    BenchOptions opts;
+    opts.scale = 0.02;
+    opts.workloads = {"PLSA"};
+
+    PlatformParams platform = presets::cmpPlatform("tiny", 2);
+    SweepRunner runner(opts);
+    FigureData fig = runner.runCacheSizeFigure("FigTest", platform);
+
+    ASSERT_EQ(fig.seriesNames().size(), 1u);
+    const auto& series = fig.series("PLSA");
+    ASSERT_EQ(series.size(), 7u);
+    // MPKI must be non-increasing along the size sweep.
+    for (std::size_t i = 1; i < series.size(); ++i)
+        EXPECT_LE(series[i], series[i - 1] + 1e-9);
+
+    const auto& points = fig.points("PLSA");
+    ASSERT_EQ(points.size(), 7u);
+    EXPECT_EQ(points[0].llcSize, 4 * MiB);
+    EXPECT_EQ(points[0].nCores, 2u);
+    EXPECT_GT(points[0].insts, 0u);
+}
+
+} // namespace
+} // namespace cosim

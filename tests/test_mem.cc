@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the memory-side substrate: allocator, bus, DRAM model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+#include "mem/dram.hh"
+#include "mem/fsb.hh"
+#include "test_util.hh"
+
+namespace cosim {
+namespace {
+
+// ------------------------------------------------------------- allocator
+
+TEST(SimAllocator, RegionsDoNotOverlap)
+{
+    SimAllocator alloc;
+    Addr a = alloc.allocate("a", 100, 64);
+    Addr b = alloc.allocate("b", 4096, 64);
+    Addr c = alloc.allocate("c", 1, 64);
+    EXPECT_GE(b, a + 100);
+    EXPECT_GE(c, b + 4096);
+    EXPECT_GE(a, SimAllocator::workloadBase);
+}
+
+TEST(SimAllocator, AlignmentHonored)
+{
+    SimAllocator alloc;
+    alloc.allocate("pad", 3, 64);
+    Addr b = alloc.allocate("aligned", 64, 4096);
+    EXPECT_EQ(b % 4096, 0u);
+}
+
+TEST(SimAllocator, FootprintAndRegions)
+{
+    SimAllocator alloc;
+    alloc.allocate("x", 1000);
+    alloc.allocate("y", 24);
+    EXPECT_EQ(alloc.footprint(), 1024u);
+    ASSERT_EQ(alloc.regions().size(), 2u);
+    EXPECT_EQ(alloc.regions()[0].name, "x");
+    EXPECT_EQ(alloc.regions()[1].size, 24u);
+}
+
+TEST(SimAllocator, FindRegion)
+{
+    SimAllocator alloc;
+    Addr a = alloc.allocate("x", 128);
+    Addr b = alloc.allocate("y", 128);
+    const SimRegion* r = alloc.findRegion(a + 64);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->name, "x");
+    EXPECT_EQ(alloc.findRegion(b + 127)->name, "y");
+    EXPECT_EQ(alloc.findRegion(b + 128), nullptr);
+    EXPECT_EQ(alloc.findRegion(0), nullptr);
+}
+
+TEST(SimAllocator, ResetRestarts)
+{
+    SimAllocator alloc;
+    Addr a1 = alloc.allocate("x", 64);
+    alloc.reset();
+    EXPECT_EQ(alloc.footprint(), 0u);
+    EXPECT_TRUE(alloc.regions().empty());
+    Addr a2 = alloc.allocate("x", 64);
+    EXPECT_EQ(a1, a2);
+}
+
+// ------------------------------------------------------------------- fsb
+
+TEST(Fsb, BroadcastsToAllSnoopersInOrder)
+{
+    FrontSideBus bus;
+    test::CountingSnooper s1;
+    test::CountingSnooper s2;
+    bus.attach(&s1);
+    bus.attach(&s2);
+
+    BusTransaction txn;
+    txn.addr = 0x40;
+    txn.size = 64;
+    txn.kind = TxnKind::ReadLine;
+    txn.core = 3;
+    bus.issue(txn);
+
+    EXPECT_EQ(s1.total, 1u);
+    EXPECT_EQ(s2.total, 1u);
+    EXPECT_EQ(s1.last.core, 3u);
+
+    bus.detach(&s1);
+    bus.issue(txn);
+    EXPECT_EQ(s1.total, 1u);
+    EXPECT_EQ(s2.total, 2u);
+}
+
+TEST(Fsb, TrafficStatistics)
+{
+    FrontSideBus bus;
+    BusTransaction rd{0x0, 64, TxnKind::ReadLine, 0};
+    BusTransaction wr{0x40, 64, TxnKind::WriteLine, 0};
+    BusTransaction pf{0x80, 64, TxnKind::Prefetch, 0};
+    BusTransaction msg{0x0, 0, TxnKind::Message, invalidCoreId};
+    bus.issue(rd);
+    bus.issue(rd);
+    bus.issue(wr);
+    bus.issue(pf);
+    bus.issue(msg);
+
+    EXPECT_EQ(bus.txnCount(), 5u);
+    EXPECT_EQ(bus.readCount(), 2u);
+    EXPECT_EQ(bus.writeCount(), 1u);
+    EXPECT_EQ(bus.prefetchCount(), 1u);
+    EXPECT_EQ(bus.messageCount(), 1u);
+    EXPECT_EQ(bus.dataBytes(), 4u * 64u);
+
+    bus.resetStats();
+    EXPECT_EQ(bus.txnCount(), 0u);
+}
+
+TEST(Fsb, ToStringNames)
+{
+    EXPECT_STREQ(toString(TxnKind::ReadLine), "read-line");
+    EXPECT_STREQ(toString(TxnKind::Message), "message");
+    EXPECT_STREQ(toString(AccessType::Write), "write");
+}
+
+// ------------------------------------------------------------------ dram
+
+TEST(Dram, UnloadedLatencyIsBase)
+{
+    DramModel dram;
+    EXPECT_EQ(dram.demandLatency(), dram.params().baseLatency);
+    EXPECT_DOUBLE_EQ(dram.prefetchAdmitFraction(), 1.0);
+}
+
+TEST(Dram, LowUtilizationKeepsLatencyNearBase)
+{
+    DramParams p;
+    p.baseLatency = 100;
+    p.peakBytesPerCycle = 2.0;
+    DramModel dram(p);
+
+    dram.addDemandTraffic(200); // 200 bytes over 1000 cycles: rho = 0.1
+    dram.endRound(1000);
+    EXPECT_NEAR(dram.lastUtilization(), 0.1, 1e-9);
+    EXPECT_LT(dram.demandLatency(), 110u);
+    EXPECT_DOUBLE_EQ(dram.prefetchAdmitFraction(), 1.0);
+}
+
+TEST(Dram, SaturationInflatesLatencyAndDropsPrefetches)
+{
+    DramParams p;
+    p.baseLatency = 100;
+    p.peakBytesPerCycle = 1.0;
+    p.maxLatencyInflation = 6.0;
+    DramModel dram(p);
+
+    dram.addDemandTraffic(5000); // rho = 5 over 1000 cycles
+    dram.endRound(1000);
+    EXPECT_DOUBLE_EQ(dram.lastUtilization(), 1.0);
+    EXPECT_EQ(dram.demandLatency(), 600u);
+    EXPECT_DOUBLE_EQ(dram.prefetchAdmitFraction(), 0.0);
+}
+
+TEST(Dram, ThrottleWindowRampsAdmission)
+{
+    DramParams p;
+    p.baseLatency = 100;
+    p.peakBytesPerCycle = 1.0;
+    p.prefetchThrottleStart = 0.5;
+    p.prefetchThrottleFull = 0.9;
+    DramModel dram(p);
+
+    dram.addDemandTraffic(700); // rho = 0.7 -> halfway in the window
+    dram.endRound(1000);
+    EXPECT_NEAR(dram.prefetchAdmitFraction(), 0.5, 1e-9);
+}
+
+TEST(Dram, LatencyIsMonotonicInUtilization)
+{
+    DramParams p;
+    p.baseLatency = 100;
+    p.peakBytesPerCycle = 1.0;
+    Cycles prev = 0;
+    for (int load = 1; load <= 9; ++load) {
+        DramModel dram(p);
+        dram.addDemandTraffic(static_cast<std::uint64_t>(load) * 100);
+        dram.endRound(1000);
+        EXPECT_GE(dram.demandLatency(), prev);
+        prev = dram.demandLatency();
+    }
+}
+
+TEST(Dram, RoundsAreIndependentAndTotalsAccumulate)
+{
+    DramModel dram;
+    dram.addDemandTraffic(1000);
+    dram.addPrefetchTraffic(500);
+    dram.endRound(100);
+    dram.endRound(100); // empty round
+    EXPECT_DOUBLE_EQ(dram.lastUtilization(), 0.0);
+    EXPECT_EQ(dram.totalDemandBytes(), 1000u);
+    EXPECT_EQ(dram.totalPrefetchBytes(), 500u);
+
+    dram.reset();
+    EXPECT_EQ(dram.totalDemandBytes(), 0u);
+    EXPECT_EQ(dram.demandLatency(), dram.params().baseLatency);
+}
+
+TEST(Dram, ZeroCycleRoundIsSafe)
+{
+    DramModel dram;
+    dram.addDemandTraffic(123456);
+    dram.endRound(0);
+    EXPECT_EQ(dram.demandLatency(), dram.params().baseLatency);
+}
+
+} // namespace
+} // namespace cosim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for trace capture, persistence and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dragonhead/fsb_messages.hh"
+#include "test_util.hh"
+#include "trace/trace.hh"
+
+namespace cosim {
+namespace {
+
+BusTransaction
+txnAt(Addr a, TxnKind kind = TxnKind::ReadLine, CoreId core = 0)
+{
+    BusTransaction t;
+    t.addr = a;
+    t.size = 64;
+    t.kind = kind;
+    t.core = core;
+    return t;
+}
+
+TEST(Trace, RecordTxnRoundTrip)
+{
+    BusTransaction t = txnAt(0xdeadbeef, TxnKind::WriteLine, 17);
+    TraceRecord r = TraceRecord::fromTxn(t);
+    BusTransaction back = r.toTxn();
+    EXPECT_EQ(back.addr, t.addr);
+    EXPECT_EQ(back.size, t.size);
+    EXPECT_EQ(back.kind, t.kind);
+    EXPECT_EQ(back.core, t.core);
+}
+
+TEST(Trace, CaptureRecordsBusStream)
+{
+    FrontSideBus bus;
+    TraceCapture capture;
+    bus.attach(&capture);
+    bus.issue(txnAt(0x40));
+    bus.issue(msg::encode(msg::Type::SetCoreId, 2));
+    bus.issue(txnAt(0x80, TxnKind::Prefetch));
+    ASSERT_EQ(capture.records().size(), 3u);
+    EXPECT_EQ(capture.records()[0].addr, 0x40u);
+    EXPECT_EQ(static_cast<TxnKind>(capture.records()[2].kind),
+              TxnKind::Prefetch);
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "cosim_trace_test.bin";
+    TraceCapture capture;
+    for (int i = 0; i < 1000; ++i) {
+        capture.observe(txnAt(static_cast<Addr>(i) * 64,
+                              i % 3 == 0 ? TxnKind::WriteLine
+                                         : TxnKind::ReadLine,
+                              static_cast<CoreId>(i % 8)));
+    }
+    capture.save(path);
+
+    auto loaded = loadTrace(path);
+    ASSERT_EQ(loaded.size(), capture.records().size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].addr, capture.records()[i].addr);
+        EXPECT_EQ(loaded[i].kind, capture.records()[i].kind);
+        EXPECT_EQ(loaded[i].core, capture.records()[i].core);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Trace, SaveLoadEmptyTrace)
+{
+    std::string path = ::testing::TempDir() + "cosim_trace_empty.bin";
+    TraceCapture capture;
+    capture.save(path);
+    EXPECT_TRUE(loadTrace(path).empty());
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReplayFullAndSliced)
+{
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 100; ++i)
+        records.push_back(TraceRecord::fromTxn(txnAt(i * 64)));
+
+    test::CountingSnooper all;
+    EXPECT_EQ(replayTrace(records, all), 100u);
+    EXPECT_EQ(all.total, 100u);
+
+    test::CountingSnooper slice;
+    EXPECT_EQ(replayTrace(records, slice, 10, 20), 20u);
+    EXPECT_EQ(slice.total, 20u);
+    EXPECT_EQ(slice.last.addr, 29u * 64u);
+
+    test::CountingSnooper past_end;
+    EXPECT_EQ(replayTrace(records, past_end, 95, 50), 5u);
+    EXPECT_EQ(replayTrace(records, past_end, 200, 1), 0u);
+}
+
+TEST(Trace, ClearResets)
+{
+    TraceCapture capture;
+    capture.observe(txnAt(0));
+    capture.clear();
+    EXPECT_TRUE(capture.records().empty());
+}
+
+} // namespace
+} // namespace cosim
