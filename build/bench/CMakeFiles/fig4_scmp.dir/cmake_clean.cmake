@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_scmp.dir/fig4_scmp.cc.o"
+  "CMakeFiles/fig4_scmp.dir/fig4_scmp.cc.o.d"
+  "fig4_scmp"
+  "fig4_scmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_scmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mcmp.dir/fig5_mcmp.cc.o"
+  "CMakeFiles/fig5_mcmp.dir/fig5_mcmp.cc.o.d"
+  "fig5_mcmp"
+  "fig5_mcmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mcmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

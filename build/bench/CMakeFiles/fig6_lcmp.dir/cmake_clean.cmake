@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_lcmp.dir/fig6_lcmp.cc.o"
+  "CMakeFiles/fig6_lcmp.dir/fig6_lcmp.cc.o.d"
+  "fig6_lcmp"
+  "fig6_lcmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lcmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_linesize.dir/fig7_linesize.cc.o"
+  "CMakeFiles/fig7_linesize.dir/fig7_linesize.cc.o.d"
+  "fig7_linesize"
+  "fig7_linesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_linesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_prefetch.dir/fig8_prefetch.cc.o"
+  "CMakeFiles/fig8_prefetch.dir/fig8_prefetch.cc.o.d"
+  "fig8_prefetch"
+  "fig8_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_mips.dir/microbench_mips.cc.o"
+  "CMakeFiles/microbench_mips.dir/microbench_mips.cc.o.d"
+  "microbench_mips"
+  "microbench_mips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_mips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

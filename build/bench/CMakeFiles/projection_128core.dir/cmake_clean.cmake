@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projection_128core.dir/projection_128core.cc.o"
+  "CMakeFiles/projection_128core.dir/projection_128core.cc.o.d"
+  "projection_128core"
+  "projection_128core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_128core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projection_dramcache.dir/projection_dramcache.cc.o"
+  "CMakeFiles/projection_dramcache.dir/projection_dramcache.cc.o.d"
+  "projection_dramcache"
+  "projection_dramcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_dramcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

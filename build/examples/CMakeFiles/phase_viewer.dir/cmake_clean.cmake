@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_viewer.dir/phase_viewer.cpp.o"
+  "CMakeFiles/phase_viewer.dir/phase_viewer.cpp.o.d"
+  "phase_viewer"
+  "phase_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

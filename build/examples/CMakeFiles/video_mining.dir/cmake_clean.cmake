@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_mining.dir/video_mining.cpp.o"
+  "CMakeFiles/video_mining.dir/video_mining.cpp.o.d"
+  "video_mining"
+  "video_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

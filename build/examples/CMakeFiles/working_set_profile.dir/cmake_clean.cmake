@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/working_set_profile.dir/working_set_profile.cpp.o"
+  "CMakeFiles/working_set_profile.dir/working_set_profile.cpp.o.d"
+  "working_set_profile"
+  "working_set_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/working_set_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

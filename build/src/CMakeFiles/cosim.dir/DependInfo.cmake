@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/csv.cc" "src/CMakeFiles/cosim.dir/base/csv.cc.o" "gcc" "src/CMakeFiles/cosim.dir/base/csv.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/cosim.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/cosim.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/random.cc" "src/CMakeFiles/cosim.dir/base/random.cc.o" "gcc" "src/CMakeFiles/cosim.dir/base/random.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/CMakeFiles/cosim.dir/base/stats.cc.o" "gcc" "src/CMakeFiles/cosim.dir/base/stats.cc.o.d"
+  "/root/repo/src/base/str.cc" "src/CMakeFiles/cosim.dir/base/str.cc.o" "gcc" "src/CMakeFiles/cosim.dir/base/str.cc.o.d"
+  "/root/repo/src/base/table.cc" "src/CMakeFiles/cosim.dir/base/table.cc.o" "gcc" "src/CMakeFiles/cosim.dir/base/table.cc.o.d"
+  "/root/repo/src/base/units.cc" "src/CMakeFiles/cosim.dir/base/units.cc.o" "gcc" "src/CMakeFiles/cosim.dir/base/units.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/cosim.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/cosim.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/cosim.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/cosim.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/CMakeFiles/cosim.dir/cache/replacement.cc.o" "gcc" "src/CMakeFiles/cosim.dir/cache/replacement.cc.o.d"
+  "/root/repo/src/cache/sweep_bank.cc" "src/CMakeFiles/cosim.dir/cache/sweep_bank.cc.o" "gcc" "src/CMakeFiles/cosim.dir/cache/sweep_bank.cc.o.d"
+  "/root/repo/src/core/cosim.cc" "src/CMakeFiles/cosim.dir/core/cosim.cc.o" "gcc" "src/CMakeFiles/cosim.dir/core/cosim.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/cosim.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/cosim.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/results.cc" "src/CMakeFiles/cosim.dir/core/results.cc.o" "gcc" "src/CMakeFiles/cosim.dir/core/results.cc.o.d"
+  "/root/repo/src/dragonhead/address_filter.cc" "src/CMakeFiles/cosim.dir/dragonhead/address_filter.cc.o" "gcc" "src/CMakeFiles/cosim.dir/dragonhead/address_filter.cc.o.d"
+  "/root/repo/src/dragonhead/cache_controller.cc" "src/CMakeFiles/cosim.dir/dragonhead/cache_controller.cc.o" "gcc" "src/CMakeFiles/cosim.dir/dragonhead/cache_controller.cc.o.d"
+  "/root/repo/src/dragonhead/control_block.cc" "src/CMakeFiles/cosim.dir/dragonhead/control_block.cc.o" "gcc" "src/CMakeFiles/cosim.dir/dragonhead/control_block.cc.o.d"
+  "/root/repo/src/dragonhead/dragonhead.cc" "src/CMakeFiles/cosim.dir/dragonhead/dragonhead.cc.o" "gcc" "src/CMakeFiles/cosim.dir/dragonhead/dragonhead.cc.o.d"
+  "/root/repo/src/dragonhead/fsb_messages.cc" "src/CMakeFiles/cosim.dir/dragonhead/fsb_messages.cc.o" "gcc" "src/CMakeFiles/cosim.dir/dragonhead/fsb_messages.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/CMakeFiles/cosim.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/cosim.dir/harness/report.cc.o.d"
+  "/root/repo/src/harness/sweep_runner.cc" "src/CMakeFiles/cosim.dir/harness/sweep_runner.cc.o" "gcc" "src/CMakeFiles/cosim.dir/harness/sweep_runner.cc.o.d"
+  "/root/repo/src/mem/address_space.cc" "src/CMakeFiles/cosim.dir/mem/address_space.cc.o" "gcc" "src/CMakeFiles/cosim.dir/mem/address_space.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/cosim.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/cosim.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/fsb.cc" "src/CMakeFiles/cosim.dir/mem/fsb.cc.o" "gcc" "src/CMakeFiles/cosim.dir/mem/fsb.cc.o.d"
+  "/root/repo/src/prefetch/stream_prefetcher.cc" "src/CMakeFiles/cosim.dir/prefetch/stream_prefetcher.cc.o" "gcc" "src/CMakeFiles/cosim.dir/prefetch/stream_prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/stride_prefetcher.cc" "src/CMakeFiles/cosim.dir/prefetch/stride_prefetcher.cc.o" "gcc" "src/CMakeFiles/cosim.dir/prefetch/stride_prefetcher.cc.o.d"
+  "/root/repo/src/softsdv/core_context.cc" "src/CMakeFiles/cosim.dir/softsdv/core_context.cc.o" "gcc" "src/CMakeFiles/cosim.dir/softsdv/core_context.cc.o.d"
+  "/root/repo/src/softsdv/cpu_model.cc" "src/CMakeFiles/cosim.dir/softsdv/cpu_model.cc.o" "gcc" "src/CMakeFiles/cosim.dir/softsdv/cpu_model.cc.o.d"
+  "/root/repo/src/softsdv/dex_scheduler.cc" "src/CMakeFiles/cosim.dir/softsdv/dex_scheduler.cc.o" "gcc" "src/CMakeFiles/cosim.dir/softsdv/dex_scheduler.cc.o.d"
+  "/root/repo/src/softsdv/virtual_platform.cc" "src/CMakeFiles/cosim.dir/softsdv/virtual_platform.cc.o" "gcc" "src/CMakeFiles/cosim.dir/softsdv/virtual_platform.cc.o.d"
+  "/root/repo/src/trace/reuse_profiler.cc" "src/CMakeFiles/cosim.dir/trace/reuse_profiler.cc.o" "gcc" "src/CMakeFiles/cosim.dir/trace/reuse_profiler.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/cosim.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/cosim.dir/trace/trace.cc.o.d"
+  "/root/repo/src/workloads/data/synth.cc" "src/CMakeFiles/cosim.dir/workloads/data/synth.cc.o" "gcc" "src/CMakeFiles/cosim.dir/workloads/data/synth.cc.o.d"
+  "/root/repo/src/workloads/data/video.cc" "src/CMakeFiles/cosim.dir/workloads/data/video.cc.o" "gcc" "src/CMakeFiles/cosim.dir/workloads/data/video.cc.o.d"
+  "/root/repo/src/workloads/fimi.cc" "src/CMakeFiles/cosim.dir/workloads/fimi.cc.o" "gcc" "src/CMakeFiles/cosim.dir/workloads/fimi.cc.o.d"
+  "/root/repo/src/workloads/fp_tree.cc" "src/CMakeFiles/cosim.dir/workloads/fp_tree.cc.o" "gcc" "src/CMakeFiles/cosim.dir/workloads/fp_tree.cc.o.d"
+  "/root/repo/src/workloads/mds.cc" "src/CMakeFiles/cosim.dir/workloads/mds.cc.o" "gcc" "src/CMakeFiles/cosim.dir/workloads/mds.cc.o.d"
+  "/root/repo/src/workloads/plsa.cc" "src/CMakeFiles/cosim.dir/workloads/plsa.cc.o" "gcc" "src/CMakeFiles/cosim.dir/workloads/plsa.cc.o.d"
+  "/root/repo/src/workloads/rsearch.cc" "src/CMakeFiles/cosim.dir/workloads/rsearch.cc.o" "gcc" "src/CMakeFiles/cosim.dir/workloads/rsearch.cc.o.d"
+  "/root/repo/src/workloads/shot.cc" "src/CMakeFiles/cosim.dir/workloads/shot.cc.o" "gcc" "src/CMakeFiles/cosim.dir/workloads/shot.cc.o.d"
+  "/root/repo/src/workloads/snp.cc" "src/CMakeFiles/cosim.dir/workloads/snp.cc.o" "gcc" "src/CMakeFiles/cosim.dir/workloads/snp.cc.o.d"
+  "/root/repo/src/workloads/svm_rfe.cc" "src/CMakeFiles/cosim.dir/workloads/svm_rfe.cc.o" "gcc" "src/CMakeFiles/cosim.dir/workloads/svm_rfe.cc.o.d"
+  "/root/repo/src/workloads/viewtype.cc" "src/CMakeFiles/cosim.dir/workloads/viewtype.cc.o" "gcc" "src/CMakeFiles/cosim.dir/workloads/viewtype.cc.o.d"
+  "/root/repo/src/workloads/workload_factory.cc" "src/CMakeFiles/cosim.dir/workloads/workload_factory.cc.o" "gcc" "src/CMakeFiles/cosim.dir/workloads/workload_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dragonhead.dir/test_dragonhead.cc.o"
+  "CMakeFiles/test_dragonhead.dir/test_dragonhead.cc.o.d"
+  "test_dragonhead"
+  "test_dragonhead.pdb"
+  "test_dragonhead[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dragonhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fptree.dir/test_fptree.cc.o"
+  "CMakeFiles/test_fptree.dir/test_fptree.cc.o.d"
+  "test_fptree"
+  "test_fptree.pdb"
+  "test_fptree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fptree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reuse_profiler.dir/test_reuse_profiler.cc.o"
+  "CMakeFiles/test_reuse_profiler.dir/test_reuse_profiler.cc.o.d"
+  "test_reuse_profiler"
+  "test_reuse_profiler.pdb"
+  "test_reuse_profiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reuse_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

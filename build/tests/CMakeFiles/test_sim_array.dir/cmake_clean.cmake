@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_array.dir/test_sim_array.cc.o"
+  "CMakeFiles/test_sim_array.dir/test_sim_array.cc.o.d"
+  "test_sim_array"
+  "test_sim_array.pdb"
+  "test_sim_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

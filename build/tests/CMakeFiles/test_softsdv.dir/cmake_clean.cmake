@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softsdv.dir/test_softsdv.cc.o"
+  "CMakeFiles/test_softsdv.dir/test_softsdv.cc.o.d"
+  "test_softsdv"
+  "test_softsdv.pdb"
+  "test_softsdv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softsdv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
