@@ -1,0 +1,198 @@
+/**
+ * @file
+ * cosim-inspect: pretty-print a run manifest.
+ *
+ * Every sweep run writes a machine-readable `run.json` next to its
+ * figure CSVs (configuration, source revision, per-workload results,
+ * the CB 500 us MPKI series, host timing). This tool renders one for
+ * humans: a summary header, a per-workload table, and a sparkline of
+ * each workload's MPKI series.
+ *
+ * Usage: cosim_inspect <run.json>
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/run_manifest.hh"
+
+using namespace cosim;
+using obs::json::Value;
+
+namespace {
+
+double
+numberOr(const Value* v, double fallback)
+{
+    return v != nullptr && v->isNumber() ? v->num : fallback;
+}
+
+std::string
+stringOr(const Value* v, const std::string& fallback)
+{
+    return v != nullptr && v->isString() ? v->str : fallback;
+}
+
+std::string
+sparkline(const std::vector<double>& values, std::size_t width)
+{
+    static const char* levels[] = {"▁", "▂", "▃",
+                                   "▄", "▅", "▆",
+                                   "▇", "█"};
+    double max_v = 0.0;
+    for (double v : values)
+        max_v = std::max(max_v, v);
+    if (max_v <= 0.0 || values.empty())
+        return std::string();
+
+    std::string out;
+    std::size_t n = std::min(width, values.size());
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t lo = col * values.size() / n;
+        std::size_t hi = std::max(lo + 1, (col + 1) * values.size() / n);
+        double sum = 0.0;
+        for (std::size_t k = lo; k < hi && k < values.size(); ++k)
+            sum += values[k];
+        double v = sum / static_cast<double>(hi - lo);
+        auto idx = static_cast<std::size_t>(7.0 * v / max_v);
+        out += levels[std::min<std::size_t>(idx, 7)];
+    }
+    return out;
+}
+
+std::vector<double>
+numberList(const Value* v)
+{
+    std::vector<double> out;
+    if (v == nullptr || !v->isArray())
+        return out;
+    for (const Value& e : v->arr) {
+        if (e.isNumber())
+            out.push_back(e.num);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: cosim_inspect <run.json>\n");
+        return 2;
+    }
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "cosim_inspect: cannot open '%s'\n",
+                     argv[1]);
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    Value doc;
+    std::string error;
+    if (!obs::json::parse(buf.str(), doc, &error)) {
+        std::fprintf(stderr, "cosim_inspect: %s: %s\n", argv[1],
+                     error.c_str());
+        return 1;
+    }
+
+    std::string schema = stringOr(doc.find("schema"), "?");
+    if (schema != obs::kManifestSchema) {
+        std::fprintf(stderr,
+                     "warn: schema '%s' (this tool understands '%s'); "
+                     "printing anyway\n",
+                     schema.c_str(), obs::kManifestSchema);
+    }
+
+    const Value* platform = doc.find("platform");
+    const Value* config = doc.find("config");
+    std::printf("%s\n", stringOr(doc.find("figure"), "(unnamed run)")
+                            .c_str());
+    std::printf("  revision %s, platform %s (%g cores), scale %g, "
+                "seed %g\n",
+                stringOr(doc.find("git"), "?").c_str(),
+                platform ? stringOr(platform->find("name"), "?").c_str()
+                         : "?",
+                platform ? numberOr(platform->find("cores"), 0) : 0,
+                config ? numberOr(config->find("scale"), 0) : 0,
+                config ? numberOr(config->find("seed"), 0) : 0);
+
+    if (config != nullptr) {
+        const Value* ticks = config->find("ticks");
+        if (ticks != nullptr && ticks->isArray()) {
+            std::printf("  sweep:");
+            for (const Value& t : ticks->arr)
+                std::printf(" %s", t.isString() ? t.str.c_str() : "?");
+            std::printf("\n");
+        }
+    }
+
+    const Value* host = doc.find("host");
+    if (host != nullptr) {
+        std::printf("  host: %.1f simulated MIPS overall\n",
+                    numberOr(host->find("sim_mips"), 0.0));
+        const Value* phases = host->find("phases");
+        if (phases != nullptr && phases->isArray()) {
+            for (const Value& p : phases->arr) {
+                std::printf("    %-16s %8.3fs  %6.0f calls\n",
+                            stringOr(p.find("name"), "?").c_str(),
+                            numberOr(p.find("seconds"), 0.0),
+                            numberOr(p.find("calls"), 0.0));
+            }
+        }
+    }
+
+    const Value* workloads = doc.find("workloads");
+    if (workloads == nullptr || !workloads->isArray() ||
+        workloads->arr.empty()) {
+        std::printf("  (no workload entries)\n");
+        return 0;
+    }
+
+    std::printf("\n  %-10s %10s %9s %7s %5s  mpki per config\n",
+                "workload", "insts", "host(s)", "MIPS", "ok?");
+    for (const Value& w : workloads->arr) {
+        std::string line;
+        for (double m : numberList(w.find("mpki_per_config"))) {
+            char cell[16];
+            std::snprintf(cell, sizeof(cell), " %.2f", m);
+            line += cell;
+        }
+        const Value* verified = w.find("verified");
+        std::printf("  %-10s %9.1fM %9.2f %7.1f %5s %s\n",
+                    stringOr(w.find("name"), "?").c_str(),
+                    numberOr(w.find("insts"), 0.0) / 1e6,
+                    numberOr(w.find("host_seconds"), 0.0),
+                    numberOr(w.find("sim_mips"), 0.0),
+                    verified && verified->isBool()
+                        ? (verified->boolean ? "yes" : "NO")
+                        : "?",
+                    line.c_str());
+    }
+
+    std::printf("\n  500us MPKI series (first config):\n");
+    for (const Value& w : workloads->arr) {
+        const Value* series = w.find("mpki_series");
+        std::vector<double> mpki =
+            series ? numberList(series->find("mpki"))
+                   : std::vector<double>();
+        if (mpki.empty()) {
+            std::printf("    %-10s (none)\n",
+                        stringOr(w.find("name"), "?").c_str());
+            continue;
+        }
+        double peak = *std::max_element(mpki.begin(), mpki.end());
+        std::printf("    %-10s %s peak %.2f (%zu windows)\n",
+                    stringOr(w.find("name"), "?").c_str(),
+                    sparkline(mpki, 48).c_str(), peak, mpki.size());
+    }
+    return 0;
+}

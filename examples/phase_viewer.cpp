@@ -5,17 +5,22 @@
  * Section 1 argues that simulating applications to completion "supports
  * changing application phase behavior and also helps choose
  * representative regions". This example runs a workload end to end and
- * prints the Dragonhead control block's 500 us sample series -- the
- * real-time MPKI the host computer polled off the board -- as an ASCII
- * strip chart, making the workload's phases visible.
+ * renders the Dragonhead control block's live 500 us sample series --
+ * the real-time MPKI the host computer polled off the board -- three
+ * ways: a one-line sparkline, an ASCII strip chart, and (optionally) a
+ * CSV of the raw windows for external plotting.
  *
- * Usage: phase_viewer [workload] [scale]     (default FIMI 0.2)
+ * Usage: phase_viewer [workload] [scale] [--csv=<file>]
+ *        (default FIMI 0.2)
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "base/csv.hh"
 #include "base/units.hh"
 #include "core/cosim.hh"
 #include "core/experiment.hh"
@@ -23,11 +28,64 @@
 
 using namespace cosim;
 
+namespace {
+
+/** Compress the full series into a width-character unicode sparkline. */
+std::string
+sparkline(const std::vector<Sample>& samples, std::size_t width)
+{
+    static const char* levels[] = {"▁", "▂", "▃",
+                                   "▄", "▅", "▆",
+                                   "▇", "█"};
+    double max_mpki = 0.0;
+    for (const Sample& s : samples)
+        max_mpki = std::max(max_mpki, s.mpki());
+    if (max_mpki <= 0.0)
+        return std::string();
+
+    std::string out;
+    std::size_t n = std::min(width, samples.size());
+    for (std::size_t col = 0; col < n; ++col) {
+        // Average the windows that map onto this column.
+        std::size_t lo = col * samples.size() / n;
+        std::size_t hi = std::max(lo + 1, (col + 1) * samples.size() / n);
+        InstCount insts = 0;
+        std::uint64_t misses = 0;
+        for (std::size_t k = lo; k < hi && k < samples.size(); ++k) {
+            insts += samples[k].insts;
+            misses += samples[k].misses;
+        }
+        double mpki = insts ? 1000.0 * static_cast<double>(misses) /
+                                  static_cast<double>(insts)
+                            : 0.0;
+        auto idx = static_cast<std::size_t>(7.0 * mpki / max_mpki);
+        out += levels[std::min<std::size_t>(idx, 7)];
+    }
+    return out;
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
-    std::string name = argc > 1 ? argv[1] : "FIMI";
-    double scale = argc > 2 ? std::strtod(argv[2], nullptr) : 0.2;
+    std::string name = "FIMI";
+    double scale = 0.2;
+    std::string csv_path;
+
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--csv=", 0) == 0) {
+            csv_path = arg.substr(6);
+        } else if (positional == 0) {
+            name = arg;
+            ++positional;
+        } else {
+            scale = std::strtod(arg.c_str(), nullptr);
+            ++positional;
+        }
+    }
 
     CoSimParams params;
     params.platform = presets::scmp();
@@ -52,8 +110,9 @@ main(int argc, char** argv)
     for (const Sample& s : samples)
         max_mpki = std::max(max_mpki, s.mpki());
 
-    std::printf("%zu samples of 500us emulated time; peak %.2f MPKI\n\n",
+    std::printf("%zu samples of 500us emulated time; peak %.2f MPKI\n",
                 samples.size(), max_mpki);
+    std::printf("  mpki %s\n\n", sparkline(samples, 64).c_str());
     std::printf("  time(ms) |0 %*s%.1f| MPKI\n", 48, "", max_mpki);
 
     // Compress to at most 64 rows so long runs stay readable.
@@ -77,6 +136,28 @@ main(int argc, char** argv)
                     50, std::string(static_cast<std::size_t>(bar),
                                     '#').c_str(),
                     mpki);
+    }
+
+    if (!csv_path.empty()) {
+        CsvWriter csv(csv_path);
+        csv.writeRow({"time_us", "insts", "cycles", "accesses", "misses",
+                      "mpki"});
+        for (const Sample& s : samples) {
+            char buf[6][32];
+            std::snprintf(buf[0], sizeof(buf[0]), "%.3f", s.timeUs);
+            std::snprintf(buf[1], sizeof(buf[1]), "%llu",
+                          static_cast<unsigned long long>(s.insts));
+            std::snprintf(buf[2], sizeof(buf[2]), "%llu",
+                          static_cast<unsigned long long>(s.cycles));
+            std::snprintf(buf[3], sizeof(buf[3]), "%llu",
+                          static_cast<unsigned long long>(s.accesses));
+            std::snprintf(buf[4], sizeof(buf[4]), "%llu",
+                          static_cast<unsigned long long>(s.misses));
+            std::snprintf(buf[5], sizeof(buf[5]), "%.4f", s.mpki());
+            csv.writeRow({buf[0], buf[1], buf[2], buf[3], buf[4],
+                          buf[5]});
+        }
+        std::printf("\nsample series CSV: %s\n", csv_path.c_str());
     }
 
     std::printf("\n%s: %.1fM insts, verified=%s\n",

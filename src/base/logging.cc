@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 namespace cosim {
@@ -12,6 +13,9 @@ void
 defaultHandler(LogLevel level, const std::string& msg)
 {
     switch (level) {
+      case LogLevel::Debug:
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+        break;
       case LogLevel::Info:
         std::fprintf(stdout, "info: %s\n", msg.c_str());
         break;
@@ -28,6 +32,34 @@ defaultHandler(LogLevel level, const std::string& msg)
 }
 
 LogHandler currentHandler = defaultHandler;
+
+LogLevel
+verbosityFromEnv()
+{
+    const char* env = std::getenv("COSIM_LOG");
+    if (env == nullptr || *env == '\0')
+        return LogLevel::Info;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "quiet") == 0)
+        return LogLevel::Fatal;
+    std::fprintf(stderr,
+                 "warn: unknown COSIM_LOG level '%s' "
+                 "(want debug|info|warn|quiet); using info\n",
+                 env);
+    return LogLevel::Info;
+}
+
+LogLevel&
+verbosity()
+{
+    static LogLevel level = verbosityFromEnv();
+    return level;
+}
 
 std::string
 vformat(const char* fmt, std::va_list args)
@@ -53,9 +85,27 @@ setLogHandler(LogHandler handler)
     return prev;
 }
 
+LogLevel
+logVerbosity()
+{
+    return verbosity();
+}
+
+LogLevel
+setLogVerbosity(LogLevel level)
+{
+    LogLevel prev = verbosity();
+    verbosity() = level;
+    return prev;
+}
+
 void
 logMessage(LogLevel level, const char* fmt, ...)
 {
+    // Fatal/Panic always get through; everything else respects the
+    // runtime verbosity floor.
+    if (level < verbosity() && level < LogLevel::Fatal)
+        return;
     std::va_list args;
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);

@@ -194,4 +194,22 @@ Cache::linesValid() const
     return n;
 }
 
+void
+Cache::addStats(stats::Group& group) const
+{
+    const CacheStats* s = &stats_;
+    group.add("accesses", [s] { return double(s->accesses); });
+    group.add("reads", [s] { return double(s->reads); });
+    group.add("writes", [s] { return double(s->writes); });
+    group.add("misses", [s] { return double(s->misses); });
+    group.add("read_misses", [s] { return double(s->readMisses); });
+    group.add("write_misses", [s] { return double(s->writeMisses); });
+    group.add("evictions", [s] { return double(s->evictions); });
+    group.add("writebacks", [s] { return double(s->writebacks); });
+    group.add("prefetch_fills", [s] { return double(s->prefetchFills); });
+    group.add("useful_prefetches",
+              [s] { return double(s->usefulPrefetches); });
+    group.add("miss_rate", [s] { return s->missRate(); });
+}
+
 } // namespace cosim

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "base/stats.hh"
 #include "base/types.hh"
 #include "cache/replacement.hh"
 
@@ -119,6 +120,12 @@ class Cache
     const CacheParams& params() const { return params_; }
     const CacheStats& stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
+
+    /**
+     * Register this cache's counters (as lazily evaluated formulas) into
+     * @p group; the group must not outlive the cache.
+     */
+    void addStats(stats::Group& group) const;
 
   private:
     static constexpr std::uint8_t flagValid = 1;

@@ -37,6 +37,16 @@ CoSimulation::emulator(unsigned i) const
     return *emulators_[i];
 }
 
+void
+CoSimulation::registerStats(obs::StatsRegistry& registry) const
+{
+    platform_.registerStats(registry);
+    for (std::size_t i = 0; i < emulators_.size(); ++i) {
+        emulators_[i]->registerStats(registry,
+                                     "dragonhead" + std::to_string(i));
+    }
+}
+
 std::vector<double>
 CoSimulation::mpkis() const
 {

@@ -54,6 +54,12 @@ class CoSimulation
     /** MPKI of every emulator, in configuration order. */
     std::vector<double> mpkis() const;
 
+    /**
+     * Register the whole rig's stats into @p registry: the platform's
+     * groups plus one "dragonhead<i>" group per emulator.
+     */
+    void registerStats(obs::StatsRegistry& registry) const;
+
     VirtualPlatform& platform() { return platform_; }
 
   private:

@@ -54,6 +54,9 @@ class CacheController
     const CoreCounters& coreCounters(CoreId core) const;
     const CacheStats& stats() const { return cache_.stats(); }
 
+    /** Register this slice's cache counters into @p group. */
+    void addStats(stats::Group& group) const { cache_.addStats(group); }
+
     void reset();
 
   private:

@@ -1,6 +1,7 @@
 #include "dragonhead/control_block.hh"
 
 #include "base/logging.hh"
+#include "obs/trace_session.hh"
 
 namespace cosim {
 
@@ -21,6 +22,18 @@ ControlBlock::attachControllers(const std::vector<CacheController*>& ccs)
     for (CacheController* cc : ccs)
         panic_if(cc == nullptr, "null cache controller attached to CB");
     ccs_ = ccs;
+}
+
+void
+ControlBlock::traceSample(const Sample& s) const
+{
+    obs::TraceSession& trace = obs::TraceSession::global();
+    if (!trace.active())
+        return;
+    // One counter track per CB: the host-visible real-time MPKI series,
+    // on the simulated-time axis.
+    trace.recordCounter(obs::TraceDomain::Simulated,
+                        params_.traceLabel + ".mpki", s.timeUs, s.mpki());
 }
 
 void
@@ -74,6 +87,7 @@ ControlBlock::onMessage(const msg::Message& m)
             s.insts = totalInsts_ - windowInstMark_;
             s.accesses = acc - windowAccessMark_;
             s.misses = mis - windowMissMark_;
+            traceSample(s);
             samples_.push_back(s);
 
             windowInstMark_ = totalInsts_;
@@ -107,6 +121,7 @@ ControlBlock::flushWindow()
     s.insts = insts;
     s.accesses = accesses;
     s.misses = misses;
+    traceSample(s);
     samples_.push_back(s);
 
     windowCycleMark_ = totalCycles_;

@@ -15,6 +15,7 @@
 #define COSIM_DRAGONHEAD_CONTROL_BLOCK_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/types.hh"
@@ -31,6 +32,13 @@ struct ControlBlockParams
 
     /** Emulated core frequency used to turn cycles into time. */
     double coreFreqGhz = 3.0;
+
+    /**
+     * Counter-track name this CB samples under when a trace session is
+     * active ("<label>.mpki"). Dragonhead derives a distinct label per
+     * emulated configuration so sweep traces get one track each.
+     */
+    std::string traceLabel = "cb";
 };
 
 /** One host-visible sample (one 500 us window). */
@@ -84,6 +92,9 @@ class ControlBlock
     /** Sum of (accesses, misses) over all attached controllers. */
     void pollControllers(std::uint64_t& accesses,
                          std::uint64_t& misses) const;
+
+    /** Publish a just-closed window to an active trace session. */
+    void traceSample(const Sample& s) const;
 
     ControlBlockParams params_;
     std::vector<CacheController*> ccs_;

@@ -3,11 +3,29 @@
 #include "base/bitops.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
+#include "base/units.hh"
 
 namespace cosim {
 
+namespace {
+
+/** CB trace label: distinct per configuration ("llc.32MB.64B"). */
+ControlBlockParams
+labeledCb(const DragonheadParams& params)
+{
+    ControlBlockParams cb = params.cb;
+    if (cb.traceLabel == "cb") {
+        cb.traceLabel = params.llc.name + "." +
+                        formatSize(params.llc.size) + "." +
+                        formatSize(params.llc.lineSize);
+    }
+    return cb;
+}
+
+} // namespace
+
 Dragonhead::Dragonhead(const DragonheadParams& params)
-    : params_(params), cb_(params.cb)
+    : params_(params), cb_(labeledCb(params))
 {
     fatal_if(params_.nSlices == 0, "Dragonhead needs at least one CC");
     fatal_if(!isPowerOf2(params_.nSlices),
@@ -108,6 +126,28 @@ Dragonhead::slice(unsigned i) const
 {
     panic_if(i >= ccs_.size(), "slice index %u out of range", i);
     return *ccs_[i];
+}
+
+void
+Dragonhead::registerStats(obs::StatsRegistry& registry,
+                          const std::string& prefix) const
+{
+    stats::Group agg(prefix);
+    agg.add("accesses", [this] { return double(results().accesses); });
+    agg.add("misses", [this] { return double(results().misses); });
+    agg.add("insts", [this] { return double(cb_.totalInsts()); });
+    agg.add("cycles", [this] { return double(cb_.totalCycles()); });
+    agg.add("mpki", [this] { return results().mpki(); });
+    agg.add("miss_rate", [this] { return results().missRate(); });
+    agg.add("samples",
+            [this] { return double(cb_.samples().size()); });
+    registry.add(std::move(agg));
+
+    for (unsigned i = 0; i < nSlices(); ++i) {
+        stats::Group g(prefix + ".cc" + std::to_string(i));
+        ccs_[i]->addStats(g);
+        registry.add(std::move(g));
+    }
 }
 
 void

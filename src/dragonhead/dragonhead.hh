@@ -17,6 +17,7 @@
 #define COSIM_DRAGONHEAD_DRAGONHEAD_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -24,6 +25,7 @@
 #include "dragonhead/cache_controller.hh"
 #include "dragonhead/control_block.hh"
 #include "mem/fsb.hh"
+#include "obs/stats_registry.hh"
 
 namespace cosim {
 
@@ -111,6 +113,13 @@ class Dragonhead : public BusSnooper
 
     /** Return the board to power-on state. */
     void reset();
+
+    /**
+     * Register this emulator's stats into @p registry under
+     * "<prefix>" (aggregate) and "<prefix>.cc<i>" (per slice).
+     */
+    void registerStats(obs::StatsRegistry& registry,
+                       const std::string& prefix) const;
 
   private:
     DragonheadParams params_;

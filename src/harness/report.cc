@@ -28,7 +28,13 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
                 "  --out=<dir>      CSV output directory (default "
                 "results)\n"
                 "  --no-verify      continue when self-verification "
-                "fails\n",
+                "fails\n"
+                "  --trace=<file>   record a Chrome trace-event JSON "
+                "(chrome://tracing / Perfetto)\n"
+                "  --stats=<file>   dump the stats registry "
+                "(.json/.csv/.txt by extension)\n"
+                "  --manifest=<f>   run manifest path (default "
+                "<out>/run.json)\n",
                 bench_description.c_str());
             std::exit(0);
         } else if (startsWith(arg, "--scale=")) {
@@ -48,12 +54,24 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
             opts.outDir = arg.substr(6);
         } else if (arg == "--no-verify") {
             opts.strictVerify = false;
+        } else if (startsWith(arg, "--trace=")) {
+            opts.traceFile = arg.substr(8);
+            fatal_if(opts.traceFile.empty(), "--trace needs a file path");
+        } else if (startsWith(arg, "--stats=")) {
+            opts.statsFile = arg.substr(8);
+            fatal_if(opts.statsFile.empty(), "--stats needs a file path");
+        } else if (startsWith(arg, "--manifest=")) {
+            opts.manifestFile = arg.substr(11);
+            fatal_if(opts.manifestFile.empty(),
+                     "--manifest needs a file path");
         } else {
             fatal("unknown option '%s' (try --help)", arg.c_str());
         }
     }
     if (opts.workloads.empty())
         opts.workloads = workloadNames();
+    if (opts.manifestFile.empty())
+        opts.manifestFile = opts.outDir + "/run.json";
     return opts;
 }
 

@@ -25,6 +25,12 @@ struct BenchOptions
     std::string outDir = "results";
     /** Abort the bench if a workload fails self-verification. */
     bool strictVerify = true;
+    /** Chrome trace-event JSON output (empty = tracing disabled). */
+    std::string traceFile;
+    /** Stats-registry dump path (.json/.csv/.txt; empty = no dump). */
+    std::string statsFile;
+    /** Per-run manifest path; defaults to "<outDir>/run.json". */
+    std::string manifestFile;
 };
 
 /**
@@ -35,6 +41,9 @@ struct BenchOptions
  *   --workloads=a,b  comma-separated subset
  *   --out=<dir>      output directory for CSVs
  *   --no-verify      keep going when self-verification fails
+ *   --trace=<file>   record a Chrome trace-event JSON of the run
+ *   --stats=<file>   dump the stats registry (.json/.csv/.txt)
+ *   --manifest=<f>   run manifest path (default <out>/run.json)
  *   --help           print usage (and exit 0)
  * Unknown flags are fatal.
  */

@@ -4,6 +4,10 @@
 
 #include "base/logging.hh"
 #include "base/units.hh"
+#include "obs/host_profiler.hh"
+#include "obs/run_manifest.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace_session.hh"
 #include "workloads/workload_factory.hh"
 
 namespace cosim {
@@ -16,12 +20,31 @@ SweepRunner::runFigure(const std::string& figure_id,
 {
     FigureData figure(figure_id, "cache configuration", ticks);
 
+    obs::TraceSession& trace = obs::TraceSession::global();
+    bool own_trace = !opts_.traceFile.empty() && !trace.active();
+    if (own_trace)
+        trace.start();
+
     CoSimParams params;
     params.platform = platform;
     params.emulators = emulators;
     CoSimulation cosim(params);
 
+    obs::RunManifest manifest;
+    manifest.figureId = figure_id;
+    manifest.platform = platform.name;
+    manifest.nCores = platform.nCores;
+    manifest.scale = opts_.scale;
+    manifest.seed = opts_.seed;
+    manifest.configTicks = ticks;
+
+    std::size_t done = 0;
     for (const std::string& name : opts_.workloads) {
+        TRACE_SPAN("sweep", "workload");
+        TRACE_INSTANT("sweep", "workload.start");
+        debug("sweep %s: starting %s (%zu/%zu)", figure_id.c_str(),
+              name.c_str(), done + 1, opts_.workloads.size());
+
         auto workload = createWorkload(name, opts_.scale);
 
         WorkloadConfig cfg;
@@ -39,6 +62,13 @@ SweepRunner::runFigure(const std::string& figure_id,
                  platform.name.c_str());
         }
 
+        obs::ManifestWorkload mw;
+        mw.name = workload->name();
+        mw.totalInsts = result.totalInsts;
+        mw.hostSeconds = result.hostSeconds;
+        mw.simMips = result.simMips();
+        mw.verified = result.verified;
+
         std::vector<double> series;
         std::vector<SweepPoint> points;
         for (unsigned e = 0; e < cosim.nEmulators(); ++e) {
@@ -55,15 +85,53 @@ SweepRunner::runFigure(const std::string& figure_id,
             point.insts = llc.insts;
             series.push_back(point.mpki());
             points.push_back(point);
+            mw.mpkiPerConfig.push_back(point.mpki());
         }
+        // The CB 500 us series that used to be dropped: keep the first
+        // emulated configuration's full-run MPKI samples.
+        if (cosim.nEmulators() > 0) {
+            for (const Sample& s : cosim.emulator(0).samples()) {
+                mw.seriesTimeUs.push_back(s.timeUs);
+                mw.seriesMpki.push_back(s.mpki());
+            }
+        }
+        manifest.workloads.push_back(std::move(mw));
         figure.addSeries(workload->name(), series, std::move(points));
 
+        ++done;
         std::printf("  %-9s %8.1fM inst  %6.2fs host  %5.1f MIPS  "
-                    "verified=%s\n",
+                    "verified=%s  [%zu/%zu]\n",
                     workload->name().c_str(),
                     static_cast<double>(result.totalInsts) / 1e6,
                     result.hostSeconds, result.simMips(),
-                    result.verified ? "yes" : "NO");
+                    result.verified ? "yes" : "NO", done,
+                    opts_.workloads.size());
+    }
+
+    // Publish the rig's component stats and the host profile through the
+    // uniform registry dumpers.
+    obs::StatsRegistry& registry = obs::StatsRegistry::global();
+    cosim.registerStats(registry);
+    registry.add(obs::HostProfiler::global().statsGroup());
+    if (!opts_.statsFile.empty()) {
+        registry.writeFile(opts_.statsFile);
+        inform("stats: %s", opts_.statsFile.c_str());
+    }
+
+    const obs::HostProfiler& prof = obs::HostProfiler::global();
+    for (const auto& p : prof.phases())
+        manifest.hostPhases.push_back({p.name, p.seconds, p.calls});
+    manifest.hostSimMips = prof.simulatedMips();
+    if (!opts_.manifestFile.empty()) {
+        manifest.writeJson(opts_.manifestFile);
+        inform("manifest: %s", opts_.manifestFile.c_str());
+    }
+
+    if (own_trace) {
+        trace.stop();
+        trace.writeJson(opts_.traceFile);
+        inform("trace: %s (%zu events)", opts_.traceFile.c_str(),
+               trace.eventCount());
     }
     return figure;
 }

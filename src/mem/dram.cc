@@ -61,6 +61,19 @@ DramModel::endRound(Cycles round_cycles)
 }
 
 void
+DramModel::addStats(stats::Group& group) const
+{
+    group.add("demand_bytes",
+              [this] { return double(totalDemandBytes_); });
+    group.add("prefetch_bytes",
+              [this] { return double(totalPrefetchBytes_); });
+    group.add("utilization", [this] { return lastUtilization_; });
+    group.add("effective_latency",
+              [this] { return double(effectiveLatency_); });
+    group.add("prefetch_admit", [this] { return prefetchAdmit_; });
+}
+
+void
 DramModel::reset()
 {
     demandBytes_ = prefetchBytes_ = 0;

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 
+#include "base/stats.hh"
 #include "base/types.hh"
 
 namespace cosim {
@@ -88,6 +89,9 @@ class DramModel
     /** @} */
 
     const DramParams& params() const { return params_; }
+
+    /** Register traffic/latency gauges into @p group. */
+    void addStats(stats::Group& group) const;
 
     /** Return to the unloaded state and clear totals. */
     void reset();

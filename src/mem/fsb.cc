@@ -78,6 +78,17 @@ FrontSideBus::issue(const BusTransaction& txn)
 }
 
 void
+FrontSideBus::addStats(stats::Group& group) const
+{
+    group.add("txns", [this] { return double(nTxns_); });
+    group.add("reads", [this] { return double(nReads_); });
+    group.add("writes", [this] { return double(nWrites_); });
+    group.add("prefetches", [this] { return double(nPrefetches_); });
+    group.add("messages", [this] { return double(nMessages_); });
+    group.add("data_bytes", [this] { return double(dataBytes_); });
+}
+
+void
 FrontSideBus::resetStats()
 {
     nTxns_ = nReads_ = nWrites_ = nPrefetches_ = nMessages_ = 0;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/stats.hh"
 #include "mem/access.hh"
 
 namespace cosim {
@@ -57,6 +58,9 @@ class FrontSideBus
     /** @} */
 
     std::size_t snooperCount() const { return snoopers_.size(); }
+
+    /** Register the traffic counters into @p group. */
+    void addStats(stats::Group& group) const;
 
     /** Zero the traffic statistics (snoopers stay attached). */
     void resetStats();

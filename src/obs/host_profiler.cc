@@ -1,0 +1,113 @@
+#include "obs/host_profiler.hh"
+
+#include "base/str.hh"
+
+namespace cosim {
+namespace obs {
+
+HostProfiler&
+HostProfiler::global()
+{
+    static HostProfiler instance;
+    return instance;
+}
+
+HostProfiler::PhaseTotal&
+HostProfiler::phase(const std::string& name)
+{
+    for (PhaseTotal& p : phases_) {
+        if (p.name == name)
+            return p;
+    }
+    phases_.push_back(PhaseTotal{name, 0.0, 0});
+    return phases_.back();
+}
+
+void
+HostProfiler::accumulate(const std::string& name, double seconds)
+{
+    PhaseTotal& p = phase(name);
+    p.seconds += seconds;
+    ++p.calls;
+}
+
+void
+HostProfiler::addSimulated(std::uint64_t insts, double seconds)
+{
+    simInsts_ += insts;
+    simSeconds_ += seconds;
+}
+
+double
+HostProfiler::seconds(const std::string& name) const
+{
+    for (const PhaseTotal& p : phases_) {
+        if (p.name == name)
+            return p.seconds;
+    }
+    return 0.0;
+}
+
+std::uint64_t
+HostProfiler::calls(const std::string& name) const
+{
+    for (const PhaseTotal& p : phases_) {
+        if (p.name == name)
+            return p.calls;
+    }
+    return 0;
+}
+
+double
+HostProfiler::simulatedMips() const
+{
+    return simSeconds_ <= 0.0
+        ? 0.0
+        : static_cast<double>(simInsts_) / 1e6 / simSeconds_;
+}
+
+std::string
+HostProfiler::report() const
+{
+    std::string out = "host profile:\n";
+    for (const PhaseTotal& p : phases_) {
+        out += strFormat("  %-24s %9.3fs  %8llu calls\n", p.name.c_str(),
+                         p.seconds,
+                         static_cast<unsigned long long>(p.calls));
+    }
+    if (simSeconds_ > 0.0) {
+        out += strFormat("  simulated %.1fM insts in %.3fs -> %.1f MIPS\n",
+                         static_cast<double>(simInsts_) / 1e6, simSeconds_,
+                         simulatedMips());
+    }
+    return out;
+}
+
+stats::Group
+HostProfiler::statsGroup(const std::string& name) const
+{
+    stats::Group g(name);
+    for (const PhaseTotal& p : phases_) {
+        double secs = p.seconds;
+        std::uint64_t n = p.calls;
+        g.add(p.name + ".seconds", [secs] { return secs; });
+        g.add(p.name + ".calls",
+              [n] { return static_cast<double>(n); });
+    }
+    std::uint64_t insts = simInsts_;
+    double mips = simulatedMips();
+    g.add("sim_insts", [insts] { return static_cast<double>(insts); });
+    g.add("sim_mips", [mips] { return mips; });
+    return g;
+}
+
+void
+HostProfiler::reset()
+{
+    phases_.clear();
+    simInsts_ = 0;
+    simSeconds_ = 0.0;
+}
+
+} // namespace obs
+} // namespace cosim

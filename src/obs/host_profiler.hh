@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Host-side profiler: where does *wall-clock* time go while simulating?
+ *
+ * The paper's headline claim is simulation speed (30-50 MIPS); making the
+ * reproduction fast requires measuring the simulator itself, not just
+ * the simulated machine. The profiler accumulates named wall-clock phase
+ * timers (setup / run / report, per workload) plus a simulated-MIPS gauge
+ * fed by the platform after every run -- the same measure
+ * bench/microbench_mips.cc derives, but available in every binary.
+ */
+
+#ifndef COSIM_OBS_HOST_PROFILER_HH
+#define COSIM_OBS_HOST_PROFILER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/stats.hh"
+
+namespace cosim {
+namespace obs {
+
+/** See file comment. */
+class HostProfiler
+{
+  public:
+    /** Accumulated wall-clock of one named phase. */
+    struct PhaseTotal
+    {
+        std::string name;
+        double seconds = 0.0;
+        std::uint64_t calls = 0;
+    };
+
+    /** The process-wide profiler. */
+    static HostProfiler& global();
+
+    /** Add @p seconds of wall-clock to phase @p name. */
+    void accumulate(const std::string& name, double seconds);
+
+    /** Feed the MIPS gauge: @p insts simulated in @p seconds. */
+    void addSimulated(std::uint64_t insts, double seconds);
+
+    double seconds(const std::string& name) const;
+    std::uint64_t calls(const std::string& name) const;
+
+    /** Phases in first-seen order. */
+    const std::vector<PhaseTotal>& phases() const { return phases_; }
+
+    std::uint64_t simulatedInsts() const { return simInsts_; }
+    double simulatedSeconds() const { return simSeconds_; }
+
+    /** Simulated MIPS over everything fed to the gauge so far. */
+    double simulatedMips() const;
+
+    /** Human-readable per-phase report. */
+    std::string report() const;
+
+    /**
+     * Snapshot as a stats::Group named @p name ("host" by default):
+     * <phase>.seconds / <phase>.calls plus sim_insts / sim_mips.
+     * The group copies current values (it does not track the profiler).
+     */
+    stats::Group statsGroup(const std::string& name = "host") const;
+
+    void reset();
+
+  private:
+    PhaseTotal& phase(const std::string& name);
+
+    std::vector<PhaseTotal> phases_;
+    std::uint64_t simInsts_ = 0;
+    double simSeconds_ = 0.0;
+};
+
+/** RAII wall-clock timer accumulating into a HostProfiler phase. */
+class ProfileScope
+{
+  public:
+    explicit ProfileScope(std::string name,
+                          HostProfiler& profiler = HostProfiler::global())
+        : profiler_(profiler), name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ProfileScope()
+    {
+        profiler_.accumulate(
+            name_, std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count());
+    }
+
+    ProfileScope(const ProfileScope&) = delete;
+    ProfileScope& operator=(const ProfileScope&) = delete;
+
+  private:
+    HostProfiler& profiler_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace obs
+} // namespace cosim
+
+#endif // COSIM_OBS_HOST_PROFILER_HH

@@ -1,0 +1,110 @@
+#include "obs/run_manifest.hh"
+
+#include <fstream>
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+
+#ifndef COSIM_GIT_DESCRIBE
+#define COSIM_GIT_DESCRIBE "unknown"
+#endif
+
+namespace cosim {
+namespace obs {
+
+std::string
+buildRevision()
+{
+    return COSIM_GIT_DESCRIBE;
+}
+
+namespace {
+
+std::string
+numberArray(const std::vector<double>& values)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += ",";
+        out += json::number(values[i]);
+    }
+    out += "]";
+    return out;
+}
+
+std::string
+stringArray(const std::vector<std::string>& values)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += ",";
+        out += json::quote(values[i]);
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace
+
+std::string
+RunManifest::toJson() const
+{
+    std::string out = "{\n";
+    out += "  \"schema\": " + json::quote(kManifestSchema) + ",\n";
+    out += "  \"git\": " + json::quote(buildRevision()) + ",\n";
+    out += "  \"figure\": " + json::quote(figureId) + ",\n";
+    out += "  \"platform\": {\"name\": " + json::quote(platform) +
+           ", \"cores\": " + json::number(nCores) + "},\n";
+    out += "  \"config\": {\"scale\": " + json::number(scale) +
+           ", \"seed\": " + json::number(static_cast<double>(seed)) +
+           ", \"ticks\": " + stringArray(configTicks) + "},\n";
+
+    out += "  \"host\": {\"sim_mips\": " + json::number(hostSimMips) +
+           ", \"phases\": [";
+    for (std::size_t i = 0; i < hostPhases.size(); ++i) {
+        const ManifestHostPhase& p = hostPhases[i];
+        if (i)
+            out += ",";
+        out += "\n    {\"name\": " + json::quote(p.name) +
+               ", \"seconds\": " + json::number(p.seconds) +
+               ", \"calls\": " +
+               json::number(static_cast<double>(p.calls)) + "}";
+    }
+    out += hostPhases.empty() ? "]},\n" : "\n  ]},\n";
+
+    out += "  \"workloads\": [";
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const ManifestWorkload& w = workloads[i];
+        if (i)
+            out += ",";
+        out += "\n    {\"name\": " + json::quote(w.name) +
+               ",\n     \"insts\": " +
+               json::number(static_cast<double>(w.totalInsts)) +
+               ", \"host_seconds\": " + json::number(w.hostSeconds) +
+               ", \"sim_mips\": " + json::number(w.simMips) +
+               ", \"verified\": " + (w.verified ? "true" : "false") +
+               ",\n     \"mpki_per_config\": " +
+               numberArray(w.mpkiPerConfig) +
+               ",\n     \"mpki_series\": {\"time_us\": " +
+               numberArray(w.seriesTimeUs) + ", \"mpki\": " +
+               numberArray(w.seriesMpki) + "}}";
+    }
+    out += workloads.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+void
+RunManifest::writeJson(const std::string& path) const
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot open manifest file '%s'", path.c_str());
+    out << toJson();
+    fatal_if(!out.good(), "error writing manifest file '%s'",
+             path.c_str());
+}
+
+} // namespace obs
+} // namespace cosim

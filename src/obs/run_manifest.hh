@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Machine-readable per-run manifest.
+ *
+ * The figure CSVs record *results*; the manifest records the *run*: what
+ * configuration produced the numbers, from which source revision, how
+ * long each workload took on the host, and the full CB 500 us MPKI
+ * series that used to be computed and dropped. One `run.json` is written
+ * next to the figure CSVs so results stay self-describing and diffable
+ * across revisions. `examples/cosim_inspect.cpp` pretty-prints one.
+ */
+
+#ifndef COSIM_OBS_RUN_MANIFEST_HH
+#define COSIM_OBS_RUN_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cosim {
+namespace obs {
+
+/** Manifest schema identifier (bump on incompatible change). */
+inline constexpr const char* kManifestSchema = "cosim-run-manifest/1";
+
+/** The source revision this binary was built from ("unknown" outside git). */
+std::string buildRevision();
+
+/** One workload execution within a run. */
+struct ManifestWorkload
+{
+    std::string name;
+    std::uint64_t totalInsts = 0;
+    double hostSeconds = 0.0;
+    double simMips = 0.0;
+    bool verified = false;
+
+    /** Final MPKI of every emulated configuration, in sweep order. */
+    std::vector<double> mpkiPerConfig;
+
+    /** CB 500 us sample series of the first emulated configuration. */
+    std::vector<double> seriesTimeUs;
+    std::vector<double> seriesMpki;
+};
+
+/** One phase of the host-profiler snapshot embedded in the manifest. */
+struct ManifestHostPhase
+{
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+};
+
+/** See file comment. */
+struct RunManifest
+{
+    std::string figureId;
+    std::string platform;
+    unsigned nCores = 0;
+    double scale = 1.0;
+    std::uint64_t seed = 0;
+
+    /** Sweep axis labels, one per emulated configuration. */
+    std::vector<std::string> configTicks;
+
+    std::vector<ManifestWorkload> workloads;
+
+    std::vector<ManifestHostPhase> hostPhases;
+    double hostSimMips = 0.0;
+
+    /** Serialize (pretty-printed JSON, schema + buildRevision included). */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; fatal() on I/O error. */
+    void writeJson(const std::string& path) const;
+};
+
+} // namespace obs
+} // namespace cosim
+
+#endif // COSIM_OBS_RUN_MANIFEST_HH

@@ -1,0 +1,128 @@
+#include "obs/stats_registry.hh"
+
+#include <fstream>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "obs/json.hh"
+
+namespace cosim {
+namespace obs {
+
+StatsRegistry&
+StatsRegistry::global()
+{
+    static StatsRegistry instance;
+    return instance;
+}
+
+stats::Group&
+StatsRegistry::add(stats::Group group)
+{
+    for (stats::Group& g : groups_) {
+        if (g.name() == group.name()) {
+            g = std::move(group);
+            return g;
+        }
+    }
+    groups_.push_back(std::move(group));
+    return groups_.back();
+}
+
+stats::Group&
+StatsRegistry::makeGroup(const std::string& name)
+{
+    return add(stats::Group(name));
+}
+
+void
+StatsRegistry::clear()
+{
+    groups_.clear();
+}
+
+std::vector<std::string>
+StatsRegistry::groupNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(groups_.size());
+    for (const stats::Group& g : groups_)
+        out.push_back(g.name());
+    return out;
+}
+
+const stats::Group*
+StatsRegistry::find(const std::string& name) const
+{
+    for (const stats::Group& g : groups_) {
+        if (g.name() == name)
+            return &g;
+    }
+    return nullptr;
+}
+
+std::string
+StatsRegistry::dumpText() const
+{
+    std::string out;
+    for (const stats::Group& g : groups_)
+        out += g.dump();
+    return out;
+}
+
+std::string
+StatsRegistry::dumpJson() const
+{
+    std::string out = "{";
+    bool first_group = true;
+    for (const stats::Group& g : groups_) {
+        if (!first_group)
+            out += ",";
+        first_group = false;
+        out += "\n  " + json::quote(g.name()) + ": {";
+        bool first_stat = true;
+        for (const auto& [stat_name, value] : g.collect()) {
+            if (!first_stat)
+                out += ",";
+            first_stat = false;
+            out += "\n    " + json::quote(stat_name) + ": " +
+                   json::number(value);
+        }
+        out += "\n  }";
+    }
+    out += "\n}\n";
+    return out;
+}
+
+std::string
+StatsRegistry::dumpCsv() const
+{
+    std::string out = "stat,value\n";
+    for (const stats::Group& g : groups_) {
+        for (const auto& [stat_name, value] : g.collect()) {
+            out += g.name() + "." + stat_name + "," +
+                   json::number(value) + "\n";
+        }
+    }
+    return out;
+}
+
+void
+StatsRegistry::writeFile(const std::string& path) const
+{
+    std::string body;
+    if (path.size() >= 5 && path.substr(path.size() - 5) == ".json")
+        body = dumpJson();
+    else if (path.size() >= 4 && path.substr(path.size() - 4) == ".csv")
+        body = dumpCsv();
+    else
+        body = dumpText();
+
+    std::ofstream out(path);
+    fatal_if(!out, "cannot open stats file '%s'", path.c_str());
+    out << body;
+    fatal_if(!out.good(), "error writing stats file '%s'", path.c_str());
+}
+
+} // namespace obs
+} // namespace cosim

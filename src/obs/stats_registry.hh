@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Process-wide statistics registry.
+ *
+ * Components keep exposing their counters exactly as before; what was
+ * missing is one place that knows about *all* of them. A `StatsRegistry`
+ * owns a set of `stats::Group`s (each component contributes one via its
+ * `addStats()` hook) and renders the whole collection uniformly as text
+ * ("component.stat value" lines), JSON, or CSV -- replacing the ad-hoc
+ * per-component printf dumps the benches used to hand-roll.
+ *
+ * Naming scheme: group names are dotted component paths ("cpu0.l1",
+ * "dragonhead0.llc.cc2", "dram"), stat names are bare ("misses"); the
+ * rendered key is "<group>.<stat>".
+ *
+ * Registered groups hold lazily evaluated formulas that reference the
+ * owning component, so a registry snapshot is only valid while those
+ * components are alive. Re-registering a group name replaces the old
+ * group, which makes per-run re-registration idempotent.
+ */
+
+#ifndef COSIM_OBS_STATS_REGISTRY_HH
+#define COSIM_OBS_STATS_REGISTRY_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+
+namespace cosim {
+namespace obs {
+
+/** See file comment. */
+class StatsRegistry
+{
+  public:
+    /** The process-wide registry (benches and examples share it). */
+    static StatsRegistry& global();
+
+    /**
+     * Take ownership of @p group. A group with the same name is
+     * replaced. @return a stable reference to the stored group.
+     */
+    stats::Group& add(stats::Group group);
+
+    /** Convenience: create an empty group named @p name and return it. */
+    stats::Group& makeGroup(const std::string& name);
+
+    /** Drop every registered group. */
+    void clear();
+
+    std::size_t size() const { return groups_.size(); }
+
+    /** Registered group names, in registration order. */
+    std::vector<std::string> groupNames() const;
+
+    /** Lookup by name; nullptr when absent. */
+    const stats::Group* find(const std::string& name) const;
+
+    /** Every stat of every group as "group.stat value" lines. */
+    std::string dumpText() const;
+
+    /** One JSON object: {"group": {"stat": value, ...}, ...}. */
+    std::string dumpJson() const;
+
+    /** CSV with a "stat,value" header, one row per stat. */
+    std::string dumpCsv() const;
+
+    /**
+     * Write a dump to @p path, picking the format from the extension
+     * (".json" / ".csv", anything else is text). fatal() on I/O error.
+     */
+    void writeFile(const std::string& path) const;
+
+  private:
+    // Deque: references returned by add() stay valid as groups are added.
+    std::deque<stats::Group> groups_;
+};
+
+} // namespace obs
+} // namespace cosim
+
+#endif // COSIM_OBS_STATS_REGISTRY_HH

@@ -1,0 +1,174 @@
+#include "obs/trace_session.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+
+namespace cosim {
+namespace obs {
+
+TraceSession&
+TraceSession::global()
+{
+    static TraceSession instance;
+    return instance;
+}
+
+void
+TraceSession::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    origin_ = std::chrono::steady_clock::now();
+    active_.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceSession::stop()
+{
+    active_.store(false, std::memory_order_relaxed);
+}
+
+double
+TraceSession::hostNowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+}
+
+void
+TraceSession::recordComplete(TraceDomain domain, std::uint32_t tid,
+                             const std::string& category,
+                             const std::string& name, double ts_us,
+                             double dur_us, double arg, bool has_arg)
+{
+    if (!active())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    TraceEvent e;
+    e.phase = TraceEvent::Phase::Complete;
+    e.domain = domain;
+    e.tid = tid;
+    e.tsUs = ts_us;
+    e.durUs = dur_us;
+    e.value = arg;
+    e.hasArg = has_arg;
+    e.name = name;
+    e.category = category;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSession::recordInstant(TraceDomain domain, std::uint32_t tid,
+                            const std::string& category,
+                            const std::string& name, double ts_us)
+{
+    if (!active())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    TraceEvent e;
+    e.phase = TraceEvent::Phase::Instant;
+    e.domain = domain;
+    e.tid = tid;
+    e.tsUs = ts_us;
+    e.name = name;
+    e.category = category;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSession::recordCounter(TraceDomain domain, const std::string& name,
+                            double ts_us, double value)
+{
+    if (!active())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    TraceEvent e;
+    e.phase = TraceEvent::Phase::Counter;
+    e.domain = domain;
+    e.tsUs = ts_us;
+    e.value = value;
+    e.name = name;
+    e.category = "counter";
+    events_.push_back(std::move(e));
+}
+
+std::size_t
+TraceSession::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::vector<TraceEvent>
+TraceSession::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+std::string
+TraceSession::exportJson() const
+{
+    std::vector<TraceEvent> sorted = events();
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         if (a.domain != b.domain)
+                             return static_cast<std::uint32_t>(a.domain) <
+                                    static_cast<std::uint32_t>(b.domain);
+                         return a.tsUs < b.tsUs;
+                     });
+
+    std::string out = "{\"traceEvents\":[\n";
+    // Process-name metadata so Perfetto labels the two clock domains.
+    out += "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+           "\"args\":{\"name\":\"host\"}},\n";
+    out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+           "\"args\":{\"name\":\"simulated\"}}";
+
+    for (const TraceEvent& e : sorted) {
+        out += ",\n{\"ph\":\"";
+        out += static_cast<char>(e.phase);
+        out += "\",\"pid\":";
+        out += json::number(static_cast<double>(
+            static_cast<std::uint32_t>(e.domain)));
+        out += ",\"tid\":" + json::number(static_cast<double>(e.tid));
+        out += ",\"ts\":" + json::number(e.tsUs);
+        if (e.phase == TraceEvent::Phase::Complete)
+            out += ",\"dur\":" + json::number(e.durUs);
+        out += ",\"name\":" + json::quote(e.name);
+        if (!e.category.empty())
+            out += ",\"cat\":" + json::quote(e.category);
+        if (e.phase == TraceEvent::Phase::Counter)
+            out += ",\"args\":{\"value\":" + json::number(e.value) + "}";
+        else if (e.hasArg)
+            out += ",\"args\":{\"insts\":" + json::number(e.value) + "}";
+        if (e.phase == TraceEvent::Phase::Instant)
+            out += ",\"s\":\"t\"";
+        out += "}";
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+void
+TraceSession::writeJson(const std::string& path) const
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot open trace file '%s'", path.c_str());
+    out << exportJson();
+    fatal_if(!out.good(), "error writing trace file '%s'", path.c_str());
+}
+
+void
+TraceSession::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+} // namespace obs
+} // namespace cosim

@@ -131,6 +131,9 @@ class CpuModel
     const CpuPrefetchStats& prefetchStats() const { return pfStats_; }
     const Prefetcher* prefetcher() const { return prefetcher_.get(); }
 
+    /** Register instruction/cycle/prefetch counters into @p group. */
+    void addStats(stats::Group& group) const;
+
     /** Zero counters and empty the caches (used between runs). */
     void reset();
 

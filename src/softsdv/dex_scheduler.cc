@@ -1,9 +1,11 @@
 #include "softsdv/dex_scheduler.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "base/logging.hh"
 #include "dragonhead/fsb_messages.hh"
+#include "obs/trace_session.hh"
 
 namespace cosim {
 
@@ -12,6 +14,8 @@ DexScheduler::DexScheduler(const DexParams& params, FrontSideBus* fsb,
     : params_(params), fsb_(fsb), dram_(dram)
 {
     fatal_if(params_.quantumInsts == 0, "DEX quantum must be nonzero");
+    fatal_if(params_.coreFreqGhz <= 0.0,
+             "DEX trace frequency must be positive");
 }
 
 void
@@ -29,6 +33,12 @@ DexScheduler::run(std::vector<CoreSlot>& slots)
         if (messages)
             fsb_->issue(msg::encode(type, payload));
     };
+
+    // One relaxed atomic load when no trace session is collecting; the
+    // per-quantum span goes on the simulated-time axis (pid "simulated",
+    // tid = virtual core id).
+    obs::TraceSession& trace = obs::TraceSession::global();
+    const double cycles_to_us = 1.0 / (params_.coreFreqGhz * 1000.0);
 
     emit(msg::Type::StartEmulation, 0);
 
@@ -72,6 +82,17 @@ DexScheduler::run(std::vector<CoreSlot>& slots)
             emit(msg::Type::InstRetired, inst_delta);
             emit(msg::Type::CyclesCompleted, cycle_delta);
 
+            if (trace.active()) {
+                trace.recordComplete(
+                    obs::TraceDomain::Simulated,
+                    static_cast<std::uint32_t>(slot.cpu->id()), "dex",
+                    "quantum",
+                    static_cast<double>(slot.cyclesAtSliceStart) *
+                        cycles_to_us,
+                    static_cast<double>(cycle_delta) * cycles_to_us,
+                    static_cast<double>(inst_delta), true);
+            }
+
             max_round_cycles = std::max(max_round_cycles, cycle_delta);
             ++slices_;
             if (!slot.done)
@@ -94,6 +115,15 @@ DexScheduler::run(std::vector<CoreSlot>& slots)
     }
 
     emit(msg::Type::StopEmulation, 0);
+}
+
+void
+DexScheduler::addStats(stats::Group& group) const
+{
+    group.add("rounds", [this] { return double(rounds_); });
+    group.add("slices", [this] { return double(slices_); });
+    group.add("quantum_insts",
+              [this] { return double(params_.quantumInsts); });
 }
 
 } // namespace cosim

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/stats.hh"
 #include "mem/dram.hh"
 #include "mem/fsb.hh"
 #include "softsdv/core_context.hh"
@@ -40,6 +41,12 @@ struct DexParams
      * that fails to terminate trips a panic instead of hanging the run.
      */
     std::uint64_t maxTotalInsts = 0;
+
+    /**
+     * Emulated core frequency used to place quantum spans on the trace's
+     * simulated-time axis (matches ControlBlockParams::coreFreqGhz).
+     */
+    double coreFreqGhz = 3.0;
 };
 
 /** One virtual core with the task currently bound to it. */
@@ -74,6 +81,9 @@ class DexScheduler
 
     /** Total slices executed. */
     std::uint64_t slices() const { return slices_; }
+
+    /** Register scheduler activity counters into @p group. */
+    void addStats(stats::Group& group) const;
 
   private:
     DexParams params_;

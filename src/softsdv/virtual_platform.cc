@@ -5,6 +5,8 @@
 
 #include "base/logging.hh"
 #include "base/stats.hh"
+#include "obs/host_profiler.hh"
+#include "obs/trace_session.hh"
 
 namespace cosim {
 
@@ -114,7 +116,11 @@ VirtualPlatform::run(Workload& workload, const WorkloadConfig& cfg)
         cpu->reset();
 
     // Input generation happens outside the emulation window.
-    workload.setUp(cfg, allocator_);
+    {
+        TRACE_SPAN("platform", "workload.setUp");
+        obs::ProfileScope prof("setup");
+        workload.setUp(cfg, allocator_);
+    }
 
     std::vector<std::unique_ptr<ThreadTask>> tasks;
     tasks.reserve(cfg.nThreads);
@@ -130,7 +136,10 @@ VirtualPlatform::run(Workload& workload, const WorkloadConfig& cfg)
     DexScheduler scheduler(params_.dex, &fsb_, &dram_);
 
     auto t0 = std::chrono::steady_clock::now();
-    scheduler.run(slots);
+    {
+        TRACE_SPAN("platform", "scheduler.run");
+        scheduler.run(slots);
+    }
     auto t1 = std::chrono::steady_clock::now();
 
     RunResult result;
@@ -170,7 +179,44 @@ VirtualPlatform::run(Workload& workload, const WorkloadConfig& cfg)
 
     result.verified = workload.verify();
     workload.tearDown();
+
+    // Feed the host-side gauge: every run contributes to the process-
+    // wide simulated-MIPS measure regardless of which harness ran it.
+    obs::HostProfiler::global().accumulate("run", result.hostSeconds);
+    obs::HostProfiler::global().addSimulated(result.totalInsts,
+                                             result.hostSeconds);
     return result;
+}
+
+void
+VirtualPlatform::registerStats(obs::StatsRegistry& registry) const
+{
+    for (std::size_t i = 0; i < cpus_.size(); ++i) {
+        const CpuModel& cpu = *cpus_[i];
+        std::string prefix = "cpu" + std::to_string(i);
+
+        stats::Group core(prefix);
+        cpu.addStats(core);
+        registry.add(std::move(core));
+
+        stats::Group l1(prefix + ".l1");
+        cpu.caches().l1().addStats(l1);
+        registry.add(std::move(l1));
+
+        if (cpu.caches().hasL2()) {
+            stats::Group l2(prefix + ".l2");
+            cpu.caches().l2().addStats(l2);
+            registry.add(std::move(l2));
+        }
+    }
+
+    stats::Group dram("dram");
+    dram_.addStats(dram);
+    registry.add(std::move(dram));
+
+    stats::Group fsb("fsb");
+    fsb_.addStats(fsb);
+    registry.add(std::move(fsb));
 }
 
 } // namespace cosim

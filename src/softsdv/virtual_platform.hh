@@ -18,6 +18,7 @@
 #include "mem/address_space.hh"
 #include "mem/dram.hh"
 #include "mem/fsb.hh"
+#include "obs/stats_registry.hh"
 #include "softsdv/cpu_model.hh"
 #include "softsdv/dex_scheduler.hh"
 #include "softsdv/guest.hh"
@@ -109,6 +110,13 @@ class VirtualPlatform
     unsigned nCores() const { return static_cast<unsigned>(cpus_.size()); }
     CpuModel& cpu(unsigned i);
     const PlatformParams& params() const { return params_; }
+
+    /**
+     * Register the platform's component stats into @p registry:
+     * one "cpu<i>" group per core (plus "cpu<i>.l1"/".l2"), "dram",
+     * and "fsb". Idempotent across runs (names replace).
+     */
+    void registerStats(obs::StatsRegistry& registry) const;
 
   private:
     PlatformParams params_;

@@ -8,6 +8,8 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "base/bitops.hh"
 #include "base/csv.hh"
@@ -231,6 +233,43 @@ TEST(Stats, HistogramBuckets)
     EXPECT_DOUBLE_EQ(h.max(), 10.0);
 }
 
+TEST(Stats, HistogramFirstSampleSetsMinAndMax)
+{
+    stats::Histogram h(0.0, 10.0, 10);
+    // The first sample must establish both extremes, even when it is
+    // above the zero-initialized min or below the zero-initialized max.
+    h.sample(7.0);
+    EXPECT_DOUBLE_EQ(h.min(), 7.0);
+    EXPECT_DOUBLE_EQ(h.max(), 7.0);
+    h.sample(3.0);
+    EXPECT_DOUBLE_EQ(h.min(), 3.0);
+    EXPECT_DOUBLE_EQ(h.max(), 7.0);
+
+    // Same after a reset, including for a negative first sample.
+    h.reset();
+    h.sample(-2.0);
+    EXPECT_DOUBLE_EQ(h.min(), -2.0);
+    EXPECT_DOUBLE_EQ(h.max(), -2.0);
+}
+
+TEST(Stats, HistogramUnderflowOverflowAccounting)
+{
+    stats::Histogram h(10.0, 20.0, 5);
+    h.sample(9.999);  // below lo
+    h.sample(10.0);   // first bucket (lo is inclusive)
+    h.sample(19.999); // last bucket
+    h.sample(20.0);   // hi is exclusive -> overflow
+    h.sample(25.0);   // overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[4], 1u);
+    // Out-of-range samples still count toward count/mean/min/max.
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.min(), 9.999);
+    EXPECT_DOUBLE_EQ(h.max(), 25.0);
+}
+
 TEST(Stats, HistogramMeanAndReset)
 {
     stats::Histogram h(0.0, 100.0, 4);
@@ -388,6 +427,64 @@ TEST(Logging, FatalIfReachesHandler)
     EXPECT_THROW(fatal_if(true, "bad config %s", "x"),
                  std::runtime_error);
     setLogHandler(prev);
+}
+
+namespace {
+std::vector<std::pair<LogLevel, std::string>> captured_logs;
+} // namespace
+
+void
+capturingHandler(LogLevel level, const std::string& msg)
+{
+    captured_logs.emplace_back(level, msg);
+}
+
+TEST(Logging, VerbosityFiltersBelowThreshold)
+{
+    LogHandler prev_handler = setLogHandler(capturingHandler);
+    LogLevel prev_verbosity = setLogVerbosity(LogLevel::Info);
+    captured_logs.clear();
+
+    // Default (Info): debug dropped, info/warn delivered. Call
+    // logMessage() directly so the check holds even in NDEBUG builds
+    // where the debug() macro compiles to nothing.
+    logMessage(LogLevel::Debug, "dropped %d", 1);
+    logMessage(LogLevel::Info, "kept info");
+    logMessage(LogLevel::Warn, "kept warn");
+    ASSERT_EQ(captured_logs.size(), 2u);
+    EXPECT_EQ(captured_logs[0].first, LogLevel::Info);
+    EXPECT_EQ(captured_logs[1].first, LogLevel::Warn);
+
+    // Raising to Warn drops info too.
+    captured_logs.clear();
+    setLogVerbosity(LogLevel::Warn);
+    logMessage(LogLevel::Info, "now dropped");
+    logMessage(LogLevel::Warn, "still kept");
+    ASSERT_EQ(captured_logs.size(), 1u);
+    EXPECT_EQ(captured_logs[0].second, "still kept");
+
+    // Lowering to Debug delivers everything.
+    captured_logs.clear();
+    setLogVerbosity(LogLevel::Debug);
+    logMessage(LogLevel::Debug, "debug %s", "visible");
+    ASSERT_EQ(captured_logs.size(), 1u);
+    EXPECT_EQ(captured_logs[0].first, LogLevel::Debug);
+    EXPECT_EQ(captured_logs[0].second, "debug visible");
+
+    setLogVerbosity(prev_verbosity);
+    setLogHandler(prev_handler);
+}
+
+TEST(Logging, FatalAndPanicAreNeverFiltered)
+{
+    LogHandler prev_handler = setLogHandler(throwingHandler);
+    LogLevel prev_verbosity = setLogVerbosity(LogLevel::Panic);
+    // Even at the most restrictive verbosity, fatal/panic reach the
+    // handler (here: throw instead of terminating).
+    EXPECT_THROW(fatal("must not be filtered"), std::runtime_error);
+    EXPECT_THROW(panic("must not be filtered"), std::runtime_error);
+    setLogVerbosity(prev_verbosity);
+    setLogHandler(prev_handler);
 }
 
 } // namespace

@@ -198,6 +198,35 @@ TEST(ControlBlock, StopFlushesPartialWindow)
     EXPECT_GT(cb.samples()[0].timeUs, 0.0);
 }
 
+TEST(ControlBlock, FlushAfterFullWindowsStampsShortTail)
+{
+    ControlBlockParams p;
+    p.samplePeriodUs = 500;
+    p.coreFreqGhz = 1.0; // 500,000 cycles per window, 1000 cycles per us
+    ControlBlock cb(p);
+
+    cb.onMessage({msg::Type::StartEmulation, 0});
+    // Two full windows plus a 125,000-cycle (125 us) tail.
+    cb.onMessage({msg::Type::InstRetired, 900000});
+    cb.onMessage({msg::Type::CyclesCompleted, 1125000});
+    ASSERT_EQ(cb.samples().size(), 2u);
+
+    cb.onMessage({msg::Type::StopEmulation, 0});
+    ASSERT_EQ(cb.samples().size(), 3u);
+    const Sample& tail = cb.samples().back();
+    EXPECT_EQ(tail.cycles, 125000u);
+    // The short window's timestamp continues from the last full window:
+    // 2 * 500 us + 125,000 cycles / 1000 cycles-per-us.
+    EXPECT_DOUBLE_EQ(tail.timeUs, 1125.0);
+    // Instructions not covered by the closed windows land in the tail.
+    EXPECT_EQ(tail.insts,
+              900000u - cb.samples()[0].insts - cb.samples()[1].insts);
+
+    // A second flush with no new activity must not add an empty sample.
+    cb.onMessage({msg::Type::StopEmulation, 0});
+    EXPECT_EQ(cb.samples().size(), 3u);
+}
+
 TEST(ControlBlock, SampleMpki)
 {
     Sample s;
