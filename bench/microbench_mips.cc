@@ -4,17 +4,35 @@
  * mirroring the paper's headline claim that HW/SW co-simulation runs at
  * 30-50 MIPS (vs KIPS for detailed software simulators). Reports
  * simulated instructions per second for the platform alone and with
- * increasing numbers of passive Dragonhead emulators attached.
+ * increasing numbers of passive Dragonhead emulators attached, serial
+ * and host-parallel.
+ *
+ * In addition to the google-benchmark tables, the binary always runs one
+ * serial-vs-parallel 7-emulator sweep comparison and writes it as
+ * machine-readable JSON (BENCH_mips.json, or $COSIM_BENCH_MIPS_JSON) so
+ * future revisions can track throughput regressions; the comparison also
+ * cross-checks that both modes produced bit-identical emulator results.
+ * Pass --benchmark_filter=NONE to skip the tables and only emit the JSON.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "base/thread_pool.hh"
 #include "base/units.hh"
 #include "core/cosim.hh"
 #include "core/experiment.hh"
+#include "obs/json.hh"
+#include "obs/run_manifest.hh"
 #include "test_workload_loop.hh"
 
 using namespace cosim;
+
+namespace json = cosim::obs::json;
 
 namespace {
 
@@ -30,6 +48,19 @@ smallPlatform(unsigned cores)
     p.cpu.emitFsbTraffic = true;
     p.dex.quantumInsts = 50000;
     return p;
+}
+
+/** The Figure-4-shaped sweep: 7 LLC sizes from 4 MB up. */
+std::vector<DragonheadParams>
+sweepEmulators(unsigned n_emus)
+{
+    std::vector<DragonheadParams> emus;
+    for (unsigned e = 0; e < n_emus; ++e) {
+        DragonheadParams dh;
+        dh.llc = {"llc", (4ull << e) * MiB, 64, 16, ReplPolicy::LRU};
+        emus.push_back(dh);
+    }
+    return emus;
 }
 
 void
@@ -64,11 +95,7 @@ BM_CoSimWithEmulators(benchmark::State& state)
     unsigned n_emus = static_cast<unsigned>(state.range(0));
     CoSimParams params;
     params.platform = smallPlatform(8);
-    for (unsigned e = 0; e < n_emus; ++e) {
-        DragonheadParams dh;
-        dh.llc = {"llc", (4u << e) * MiB, 64, 16, ReplPolicy::LRU};
-        params.emulators.push_back(dh);
-    }
+    params.emulators = sweepEmulators(n_emus);
     CoSimulation cosim(params);
     std::uint64_t insts = 0;
     for (auto _ : state) {
@@ -81,6 +108,28 @@ BM_CoSimWithEmulators(benchmark::State& state)
     reportMips(state, insts);
 }
 BENCHMARK(BM_CoSimWithEmulators)->Arg(1)->Arg(4)->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_CoSimParallelEmulators(benchmark::State& state)
+{
+    unsigned n_emus = static_cast<unsigned>(state.range(0));
+    CoSimParams params;
+    params.platform = smallPlatform(8);
+    params.emulators = sweepEmulators(n_emus);
+    params.emulationThreads = ThreadPool::hardwareThreads();
+    CoSimulation cosim(params);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        bench::LoopWorkload wl(256 * KiB, 2);
+        WorkloadConfig cfg;
+        cfg.nThreads = 8;
+        RunResult r = cosim.run(wl, cfg);
+        insts = r.totalInsts;
+    }
+    reportMips(state, insts);
+}
+BENCHMARK(BM_CoSimParallelEmulators)->Arg(1)->Arg(4)->Arg(7)
     ->Unit(benchmark::kMillisecond);
 
 void
@@ -98,6 +147,46 @@ BM_CacheAccessThroughput(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CacheAccessThroughput);
+
+/**
+ * Before/after of the de-virtualized hit path: the same resident-line
+ * access stream through the full access() path vs tryHitFast().
+ */
+void
+BM_CacheHitFullPath(benchmark::State& state)
+{
+    CacheParams p{"l1", 32 * KiB, 64, 8, ReplPolicy::LRU};
+    Cache cache(p);
+    for (Addr a = 0; a < 32 * KiB; a += 64)
+        cache.access(a, false); // warm: every line resident
+    Addr a = 0;
+    for (auto _ : state) {
+        cache.access(a, false);
+        a += 64;
+        if (a >= 32 * KiB)
+            a = 0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitFullPath);
+
+void
+BM_CacheHitFastPath(benchmark::State& state)
+{
+    CacheParams p{"l1", 32 * KiB, 64, 8, ReplPolicy::LRU};
+    Cache cache(p);
+    for (Addr a = 0; a < 32 * KiB; a += 64)
+        cache.access(a, false);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.tryHitFast(a, false));
+        a += 64;
+        if (a >= 32 * KiB)
+            a = 0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitFastPath);
 
 void
 BM_DragonheadObserve(benchmark::State& state)
@@ -121,6 +210,107 @@ BM_DragonheadObserve(benchmark::State& state)
 }
 BENCHMARK(BM_DragonheadObserve);
 
+/** One mode of the tracked serial-vs-parallel comparison. */
+struct ModeResult
+{
+    double hostSeconds = 0.0;
+    double simMips = 0.0;
+    std::vector<double> mpkis;
+    std::vector<std::uint64_t> misses;
+};
+
+ModeResult
+runSweepOnce(unsigned emulation_threads)
+{
+    CoSimParams params;
+    params.platform = smallPlatform(8);
+    params.emulators = sweepEmulators(7);
+    params.emulationThreads = emulation_threads;
+    CoSimulation cosim(params);
+
+    bench::LoopWorkload wl(1 * MiB, 3);
+    WorkloadConfig cfg;
+    cfg.nThreads = 8;
+    RunResult r = cosim.run(wl, cfg);
+
+    ModeResult out;
+    out.hostSeconds = r.hostSeconds;
+    out.simMips = r.simMips();
+    out.mpkis = cosim.mpkis();
+    for (unsigned e = 0; e < cosim.nEmulators(); ++e)
+        out.misses.push_back(cosim.emulator(e).results().misses);
+    return out;
+}
+
+std::string
+modeJson(const ModeResult& m, unsigned emulation_threads)
+{
+    std::string out = "{\"host_seconds\": " + json::number(m.hostSeconds) +
+                      ", \"sim_mips\": " + json::number(m.simMips) +
+                      ", \"emulation_threads\": " +
+                      json::number(emulation_threads) + ", \"mpki\": [";
+    for (std::size_t i = 0; i < m.mpkis.size(); ++i)
+        out += (i ? "," : "") + json::number(m.mpkis[i]);
+    out += "]}";
+    return out;
+}
+
+/** The tracked comparison: 7-emulator sweep, serial vs parallel. */
+void
+writeMipsJson()
+{
+    const char* env = std::getenv("COSIM_BENCH_MIPS_JSON");
+    std::string path = env != nullptr ? env : "BENCH_mips.json";
+
+    const unsigned host_threads = ThreadPool::hardwareThreads();
+    ModeResult serial = runSweepOnce(0);
+    ModeResult parallel = runSweepOnce(host_threads);
+
+    bool identical = serial.mpkis == parallel.mpkis &&
+                     serial.misses == parallel.misses;
+    double speedup = parallel.hostSeconds > 0.0
+        ? serial.hostSeconds / parallel.hostSeconds
+        : 0.0;
+
+    std::string out = "{\n";
+    out += "  \"schema\": \"cosim-bench-mips/1\",\n";
+    out += "  \"git\": " + json::quote(obs::buildRevision()) + ",\n";
+    out += "  \"host_threads\": " + json::number(host_threads) + ",\n";
+    out += "  \"emulators\": 7,\n";
+    out += "  \"serial\": " + modeJson(serial, 0) + ",\n";
+    out += "  \"parallel\": " + modeJson(parallel, host_threads) + ",\n";
+    out += "  \"speedup\": " + json::number(speedup) + ",\n";
+    out += std::string("  \"identical_results\": ") +
+           (identical ? "true" : "false") + "\n";
+    out += "}\n";
+
+    std::ofstream file(path);
+    if (!file || !(file << out)) {
+        std::fprintf(stderr, "microbench_mips: cannot write %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::printf("serial %.1f MIPS, parallel(%u) %.1f MIPS, speedup "
+                "%.2fx, identical=%s -> %s\n", serial.simMips,
+                host_threads, parallel.simMips, speedup,
+                identical ? "yes" : "NO", path.c_str());
+    if (!identical) {
+        std::fprintf(stderr, "microbench_mips: parallel emulation "
+                     "diverged from serial!\n");
+        std::exit(1);
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    writeMipsJson();
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Bounded single-producer/single-consumer queue with backpressure.
+ *
+ * The AsyncEmulatorBank moves *chunks* of a few thousand bus transactions
+ * per queue operation, so the per-op cost is amortized thousands of ways;
+ * this implementation therefore favours a plain mutex + condition
+ * variable over a lock-free ring -- it is trivially correct under
+ * ThreadSanitizer, never burns a host core spinning (the test hosts may
+ * have a single core), and the blocking push *is* the backpressure that
+ * stops a fast producer from buffering unbounded trace history.
+ *
+ * Contract: exactly one producer thread calls push()/close() and exactly
+ * one consumer thread calls pop(). Capacity is fixed at construction.
+ */
+
+#ifndef COSIM_BASE_SPSC_QUEUE_HH
+#define COSIM_BASE_SPSC_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace cosim {
+
+/** See file comment. */
+template <typename T>
+class SpscQueue
+{
+  public:
+    explicit SpscQueue(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {}
+
+    /** Blocks while the queue is full (backpressure). */
+    void
+    push(T item)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notFull_.wait(lock,
+                          [this] { return items_.size() < capacity_; });
+            items_.push_back(std::move(item));
+            if (items_.size() > peakDepth_)
+                peakDepth_ = items_.size();
+        }
+        notEmpty_.notify_one();
+    }
+
+    /**
+     * Blocks until an item is available or the queue is closed and
+     * drained. @return false only on closed-and-drained.
+     */
+    bool
+    pop(T& out)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notEmpty_.wait(lock,
+                           [this] { return closed_ || !items_.empty(); });
+            if (items_.empty())
+                return false;
+            out = std::move(items_.front());
+            items_.pop_front();
+        }
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Producer side: no more pushes; wakes a waiting consumer. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** High-water mark of the queue depth since the last resetPeak(). */
+    std::size_t
+    peakDepth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return peakDepth_;
+    }
+
+    void
+    resetPeak()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        peakDepth_ = items_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<T> items_;
+    const std::size_t capacity_;
+    std::size_t peakDepth_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace cosim
+
+#endif // COSIM_BASE_SPSC_QUEUE_HH

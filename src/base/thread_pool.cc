@@ -1,0 +1,86 @@
+#include "base/thread_pool.hh"
+
+#include "base/logging.hh"
+
+namespace cosim {
+
+ThreadPool::ThreadPool(unsigned n_threads)
+{
+    fatal_if(n_threads == 0, "thread pool needs at least one worker");
+    workers_.reserve(n_threads);
+    for (unsigned i = 0; i < n_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    taskReady_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        panic_if(stopping_, "submit() on a stopping thread pool");
+        tasks_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+std::size_t
+ThreadPool::queuedTasks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.size();
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            taskReady_.wait(lock, [this] {
+                return stopping_ || !tasks_.empty();
+            });
+            // Drain-on-destruction: keep running queued tasks even while
+            // stopping; exit only once the queue is empty.
+            if (tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+            if (inFlight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+} // namespace cosim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fixed-size host worker pool.
+ *
+ * The paper's Dragonhead board ran its four CC FPGAs concurrently; the
+ * software reproduction regains that parallelism on the host with plain
+ * worker threads. The pool is deliberately simple and deterministic:
+ * tasks are dispatched strictly FIFO in submission order (with a single
+ * worker the pool degenerates to serial in-order execution, which the
+ * determinism tests exploit), results and exceptions propagate through
+ * std::future, and the destructor drains every queued task before
+ * joining, so no submitted work is ever silently dropped.
+ */
+
+#ifndef COSIM_BASE_THREAD_POOL_HH
+#define COSIM_BASE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cosim {
+
+/** See file comment. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p n_threads workers (fatal on 0). */
+    explicit ThreadPool(unsigned n_threads);
+
+    /** Drains the queue (every submitted task runs), then joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /**
+     * Queue @p fn for execution. Tasks start in submission order. The
+     * returned future carries the result or the thrown exception.
+     */
+    template <typename F>
+    auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        // packaged_task is move-only; std::function needs copyable, so
+        // the task rides behind a shared_ptr.
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task] { (*task)(); });
+        return fut;
+    }
+
+    /** Block until every task submitted so far has finished. */
+    void wait();
+
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Queued-but-not-started tasks (diagnostic). */
+    std::size_t queuedTasks() const;
+
+    /** std::thread::hardware_concurrency() with a floor of 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> tasks_;
+    std::vector<std::thread> workers_;
+    std::size_t inFlight_ = 0; ///< queued + currently running
+    bool stopping_ = false;
+};
+
+} // namespace cosim
+
+#endif // COSIM_BASE_THREAD_POOL_HH

@@ -48,6 +48,7 @@ Cache::Cache(const CacheParams& params) : params_(params)
     tags_.assign(n, 0);
     flags_.assign(n, 0);
     repl_ = ReplacementState::create(params_.repl, sets_, params_.assoc);
+    lruView_ = repl_->lruDirect();
 }
 
 Cache::Lookup

@@ -94,6 +94,49 @@ class Cache
     Outcome access(Addr addr, bool write);
 
     /**
+     * Inlined fast path for the dominant case: a plain hit (valid line,
+     * not carrying the prefetched flag) under LRU replacement. Performs
+     * the *complete* hit -- access/read/write counters, dirty bit, LRU
+     * touch through a raw stamp view -- with no virtual dispatch.
+     *
+     * @return true iff the access completed as a plain hit. On false
+     * nothing was modified and the caller must take access(): the line
+     * missed, is a first hit on a prefetched line (useful-prefetch
+     * accounting), or the policy has no direct LRU view.
+     */
+    bool
+    tryHitFast(Addr addr, bool write)
+    {
+        if (lruView_.stamps == nullptr)
+            return false;
+        const Addr line = addr >> lineBits_;
+        const std::uint32_t set =
+            static_cast<std::uint32_t>(line & setMask_);
+        const std::uint64_t tag = line >> setBits_;
+        const std::size_t base =
+            static_cast<std::size_t>(set) * params_.assoc;
+        const std::uint64_t* tags = tags_.data() + base;
+        std::uint8_t* flags = flags_.data() + base;
+        for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+            const std::uint8_t f = flags[w];
+            if ((f & flagValid) == 0 || tags[w] != tag)
+                continue;
+            if ((f & flagPrefetched) != 0)
+                return false; // full path owns useful-prefetch stats
+            ++stats_.accesses;
+            if (write) {
+                ++stats_.writes;
+                flags[w] = static_cast<std::uint8_t>(f | flagDirty);
+            } else {
+                ++stats_.reads;
+            }
+            lruView_.stamps[base + w] = ++*lruView_.clock;
+            return true;
+        }
+        return false; // miss: full path installs the line
+    }
+
+    /**
      * Install the line containing @p addr as a (clean) prefetch.
      * @return true if the line was absent and is now installed.
      */
@@ -156,6 +199,8 @@ class Cache
     std::vector<std::uint64_t> tags_;
     std::vector<std::uint8_t> flags_;
     std::unique_ptr<ReplacementState> repl_;
+    /** Raw LRU stamp window (null stamps => no fast path). */
+    LruDirectView lruView_;
     CacheStats stats_;
 };
 

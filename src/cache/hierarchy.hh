@@ -65,6 +65,18 @@ class PrivateHierarchy
     Result access(Addr addr, bool write);
 
     /**
+     * Inlined fast path: complete the access iff it is a plain L1 hit
+     * (see Cache::tryHitFast). A plain L1 hit produces no writebacks,
+     * no beyond-traffic, and no prefetcher activity, so the full
+     * Result plumbing can be skipped. @return false with no state
+     * change when the full access() path is required.
+     */
+    bool tryL1Hit(Addr addr, bool write)
+    {
+        return l1_.tryHitFast(addr, write);
+    }
+
+    /**
      * Install a prefetched line into the outermost private level.
      * @return true if the line was newly installed (traffic happened).
      */

@@ -87,6 +87,17 @@ class StampState : public ReplacementState
 
     ReplPolicy policy() const override { return policy_; }
 
+    LruDirectView
+    lruDirect() override
+    {
+        // Only LRU touches on hits; FIFO's stamps move at fill time
+        // alone, so exposing them would let the fast path corrupt the
+        // insertion order.
+        if (policy_ != ReplPolicy::LRU)
+            return {};
+        return LruDirectView{stamps_.data(), &clock_};
+    }
+
   private:
     std::size_t
     idx(std::uint32_t set, std::uint32_t way) const

@@ -33,6 +33,18 @@ ReplPolicy parseReplPolicy(const std::string& name);
 const char* toString(ReplPolicy p);
 
 /**
+ * Raw window into an LRU policy's recency state, letting the cache's
+ * inlined hit fast path apply the touch (stamps[set*ways+way] = ++clock)
+ * without a virtual call per hit. Null pointers mean the policy does not
+ * support direct touching and the caller must use the virtual interface.
+ */
+struct LruDirectView
+{
+    std::uint64_t* stamps = nullptr; ///< sets*ways recency stamps
+    std::uint64_t* clock = nullptr;  ///< global access clock
+};
+
+/**
  * Per-cache replacement state. The cache calls touch() on hits, fill() on
  * insertions, and victim() when it must evict from a full set.
  */
@@ -52,6 +64,13 @@ class ReplacementState
 
     /** Policy identity. */
     virtual ReplPolicy policy() const = 0;
+
+    /**
+     * De-virtualized touch support. The default (no view) keeps every
+     * policy correct through the virtual interface; LRU overrides it so
+     * the dominant L1-hit path can skip the dispatch.
+     */
+    virtual LruDirectView lruDirect() { return {}; }
 
     /** Factory. @p ways must be a power of two for TreePLRU. */
     static std::unique_ptr<ReplacementState>

@@ -1,8 +1,18 @@
 #include "core/cosim.hh"
 
+#include <chrono>
+
 #include "base/logging.hh"
+#include "obs/host_profiler.hh"
 
 namespace cosim {
+
+namespace {
+
+/** Chunk size when parallel mode is on and the user did not pick one. */
+constexpr std::size_t kDefaultBatchTxns = 4096;
+
+} // namespace
 
 CoSimulation::CoSimulation(const CoSimParams& params)
     : platform_(params.platform)
@@ -10,14 +20,39 @@ CoSimulation::CoSimulation(const CoSimParams& params)
     fatal_if(!params.platform.cpu.emitFsbTraffic,
              "co-simulation requires cores that emit FSB traffic "
              "(set CpuParams::emitFsbTraffic)");
+
+    if (params.emulationThreads > 0 && !params.emulators.empty()) {
+        EmulatorBankParams bp;
+        bp.emulators = params.emulators;
+        bp.nThreads = params.emulationThreads;
+        bp.chunkTxns = params.fsbBatchTxns > 0 ? params.fsbBatchTxns
+                                               : kDefaultBatchTxns;
+        bank_ = std::make_unique<AsyncEmulatorBank>(bp);
+        platform_.fsb().attach(bank_.get());
+        // Batch the bus itself so the bank receives whole chunks instead
+        // of paying a buffered copy per transaction.
+        platform_.fsb().setBatchCapacity(bp.chunkTxns);
+        obs::HostProfiler::global().noteEmulationThreads(
+            bank_->nThreads());
+        return;
+    }
+
     for (const DragonheadParams& dh : params.emulators) {
         emulators_.push_back(std::make_unique<Dragonhead>(dh));
         platform_.fsb().attach(emulators_.back().get());
     }
+    if (params.fsbBatchTxns > 1)
+        platform_.fsb().setBatchCapacity(params.fsbBatchTxns);
 }
 
 CoSimulation::~CoSimulation()
 {
+    if (bank_) {
+        platform_.fsb().flush();
+        platform_.fsb().detach(bank_.get());
+        return;
+    }
+    platform_.fsb().flush();
     for (auto& dh : emulators_)
         platform_.fsb().detach(dh.get());
 }
@@ -25,14 +60,34 @@ CoSimulation::~CoSimulation()
 RunResult
 CoSimulation::run(Workload& workload, const WorkloadConfig& cfg)
 {
+    if (bank_)
+        bank_->reset();
     for (auto& dh : emulators_)
         dh->reset();
-    return platform_.run(workload, cfg);
+
+    RunResult result = platform_.run(workload, cfg);
+
+    if (bank_) {
+        // The platform flushed the bus, but workers may still be
+        // emulating queued chunks; the emulation window only closes when
+        // the last one drains, so that time belongs to the run.
+        auto t0 = std::chrono::steady_clock::now();
+        bank_->sync();
+        double drain = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+        result.hostSeconds += drain;
+        obs::HostProfiler::global().accumulate("run.drain", drain);
+        obs::HostProfiler::global().addSimulated(0, drain);
+    }
+    return result;
 }
 
 const Dragonhead&
 CoSimulation::emulator(unsigned i) const
 {
+    if (bank_)
+        return bank_->emulator(i);
     panic_if(i >= emulators_.size(), "emulator index %u out of range", i);
     return *emulators_[i];
 }
@@ -41,9 +96,18 @@ void
 CoSimulation::registerStats(obs::StatsRegistry& registry) const
 {
     platform_.registerStats(registry);
-    for (std::size_t i = 0; i < emulators_.size(); ++i) {
-        emulators_[i]->registerStats(registry,
-                                     "dragonhead" + std::to_string(i));
+    for (unsigned i = 0; i < nEmulators(); ++i) {
+        stats::Group& g = emulator(i).registerStats(
+            registry, "dragonhead" + std::to_string(i));
+        if (!bank_)
+            continue;
+        const AsyncEmulatorBank* bank = bank_.get();
+        g.add("batches", [bank, i] {
+            return double(bank->emulatorStats(i).batches);
+        });
+        g.add("queue_peak", [bank, i] {
+            return double(bank->queuePeak(i));
+        });
     }
 }
 
@@ -51,9 +115,10 @@ std::vector<double>
 CoSimulation::mpkis() const
 {
     std::vector<double> out;
-    out.reserve(emulators_.size());
-    for (const auto& dh : emulators_)
-        out.push_back(dh->results().mpki());
+    const unsigned n = nEmulators();
+    out.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        out.push_back(emulator(i).results().mpki());
     return out;
 }
 

@@ -8,6 +8,18 @@
  * snoop the FSB. Because the emulation is passive, attaching several
  * emulators with different LLC configurations evaluates a whole design
  * sweep in a single workload execution.
+ *
+ * Two emulation modes:
+ *
+ *  - *Serial* (emulationThreads == 0, the default): every emulator is
+ *    attached to the bus directly and emulates inline on the workload's
+ *    host thread, exactly the original behaviour.
+ *  - *Parallel* (emulationThreads > 0): the emulators live in an
+ *    AsyncEmulatorBank, the bus batches transactions into chunks, and
+ *    worker threads emulate the chunks while the workload keeps
+ *    executing -- the software analogue of the FPGA emulating
+ *    concurrently with the host CPUs. Results are bit-identical to
+ *    serial mode (tests/test_parallel.cc enforces this).
  */
 
 #ifndef COSIM_CORE_COSIM_HH
@@ -16,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/emulator_bank.hh"
 #include "dragonhead/dragonhead.hh"
 #include "softsdv/virtual_platform.hh"
 
@@ -26,6 +39,20 @@ struct CoSimParams
 {
     PlatformParams platform;
     std::vector<DragonheadParams> emulators;
+
+    /**
+     * Host threads emulating Dragonheads; 0 = serial inline emulation.
+     * More threads than emulators is clamped (a worker per emulator).
+     */
+    unsigned emulationThreads = 0;
+
+    /**
+     * FSB batch-chunk size in transactions; 0 picks a default (4096)
+     * in parallel mode and immediate delivery in serial mode. Values
+     * > 1 enable batched delivery even for serial emulation, which
+     * amortizes the per-transaction virtual snooper dispatch.
+     */
+    std::size_t fsbBatchTxns = 0;
 };
 
 /** See file comment. */
@@ -40,23 +67,38 @@ class CoSimulation
 
     /**
      * Run @p workload once; every attached emulator observes the same
-     * execution. Emulators are reset at run entry.
+     * execution. Emulators are reset at run entry. In parallel mode the
+     * call returns only after every worker has drained, so emulator
+     * results are settled; the drain time is folded into
+     * RunResult::hostSeconds (the emulation window is not over until
+     * the last chunk is emulated).
      */
     RunResult run(Workload& workload, const WorkloadConfig& cfg);
 
     unsigned nEmulators() const
     {
-        return static_cast<unsigned>(emulators_.size());
+        return bank_ ? bank_->nEmulators()
+                     : static_cast<unsigned>(emulators_.size());
+    }
+
+    /** Host worker threads emulating; 0 in serial mode. */
+    unsigned emulationThreads() const
+    {
+        return bank_ ? bank_->nThreads() : 0;
     }
 
     const Dragonhead& emulator(unsigned i) const;
+
+    /** The bank, or nullptr in serial mode (diagnostics/tests). */
+    const AsyncEmulatorBank* bank() const { return bank_.get(); }
 
     /** MPKI of every emulator, in configuration order. */
     std::vector<double> mpkis() const;
 
     /**
      * Register the whole rig's stats into @p registry: the platform's
-     * groups plus one "dragonhead<i>" group per emulator.
+     * groups plus one "dragonhead<i>" group per emulator (with
+     * "batches" / "queue_peak" delivery counters in parallel mode).
      */
     void registerStats(obs::StatsRegistry& registry) const;
 
@@ -64,7 +106,10 @@ class CoSimulation
 
   private:
     VirtualPlatform platform_;
+    /** Serial mode: directly attached emulators. */
     std::vector<std::unique_ptr<Dragonhead>> emulators_;
+    /** Parallel mode: emulators owned by the worker bank. */
+    std::unique_ptr<AsyncEmulatorBank> bank_;
 };
 
 } // namespace cosim

@@ -1,0 +1,166 @@
+#include "core/emulator_bank.hh"
+
+#include "base/logging.hh"
+
+namespace cosim {
+
+AsyncEmulatorBank::AsyncEmulatorBank(const EmulatorBankParams& params)
+    : params_(params)
+{
+    fatal_if(params_.emulators.empty(),
+             "emulator bank needs at least one Dragonhead");
+    if (params_.chunkTxns == 0)
+        params_.chunkTxns = 1;
+    if (params_.queueChunks == 0)
+        params_.queueChunks = 1;
+
+    const auto n_emus = static_cast<unsigned>(params_.emulators.size());
+    unsigned n_threads = params_.nThreads == 0 ? n_emus : params_.nThreads;
+    // More workers than emulators would just idle.
+    if (n_threads > n_emus)
+        n_threads = n_emus;
+
+    emulators_.reserve(n_emus);
+    for (const DragonheadParams& p : params_.emulators)
+        emulators_.push_back(std::make_unique<Dragonhead>(p));
+    stats_.resize(n_emus);
+
+    workers_.reserve(n_threads);
+    for (unsigned w = 0; w < n_threads; ++w)
+        workers_.push_back(std::make_unique<Worker>(params_.queueChunks));
+    for (unsigned i = 0; i < n_emus; ++i)
+        workers_[i % n_threads]->emulators.push_back(i);
+
+    pending_.reserve(params_.chunkTxns);
+
+    for (auto& worker : workers_) {
+        Worker* w = worker.get();
+        w->thread = std::thread([this, w] { workerLoop(*w); });
+    }
+}
+
+AsyncEmulatorBank::~AsyncEmulatorBank()
+{
+    // Deliver anything still buffered so a bank that is destroyed without
+    // an explicit sync() leaves its emulators in the same state serial
+    // snooping would have.
+    publishPending();
+    for (auto& worker : workers_)
+        worker->queue.close();
+    for (auto& worker : workers_)
+        worker->thread.join();
+}
+
+void
+AsyncEmulatorBank::observe(const BusTransaction& txn)
+{
+    pending_.push_back(txn);
+    if (pending_.size() >= params_.chunkTxns)
+        publishPending();
+}
+
+void
+AsyncEmulatorBank::observeBatch(const BusTransaction* txns, std::size_t n)
+{
+    pending_.insert(pending_.end(), txns, txns + n);
+    if (pending_.size() >= params_.chunkTxns)
+        publishPending();
+}
+
+void
+AsyncEmulatorBank::publishPending()
+{
+    if (pending_.empty())
+        return;
+    Chunk chunk = std::make_shared<const std::vector<BusTransaction>>(
+        std::move(pending_));
+    pending_ = {};
+    pending_.reserve(params_.chunkTxns);
+    for (auto& worker : workers_) {
+        worker->queue.push(chunk);
+        ++worker->chunksPushed;
+    }
+}
+
+void
+AsyncEmulatorBank::sync()
+{
+    publishPending();
+    std::unique_lock<std::mutex> lock(syncMutex_);
+    syncCv_.wait(lock, [this] {
+        for (const auto& worker : workers_) {
+            if (worker->chunksDone != worker->chunksPushed)
+                return false;
+        }
+        return true;
+    });
+}
+
+void
+AsyncEmulatorBank::reset()
+{
+    sync();
+    // Workers are parked in pop() after a sync, so emulator and counter
+    // state is exclusively ours here.
+    for (auto& emu : emulators_)
+        emu->reset();
+    for (auto& s : stats_)
+        s = EmulatorWorkerStats{};
+    for (auto& worker : workers_)
+        worker->queue.resetPeak();
+}
+
+Dragonhead&
+AsyncEmulatorBank::emulator(unsigned i)
+{
+    panic_if(i >= emulators_.size(), "emulator index %u out of range", i);
+    return *emulators_[i];
+}
+
+const Dragonhead&
+AsyncEmulatorBank::emulator(unsigned i) const
+{
+    panic_if(i >= emulators_.size(), "emulator index %u out of range", i);
+    return *emulators_[i];
+}
+
+const EmulatorWorkerStats&
+AsyncEmulatorBank::emulatorStats(unsigned i) const
+{
+    panic_if(i >= stats_.size(), "emulator index %u out of range", i);
+    return stats_[i];
+}
+
+std::size_t
+AsyncEmulatorBank::queuePeak(unsigned i) const
+{
+    panic_if(i >= emulators_.size(), "emulator index %u out of range", i);
+    return workers_[i % workers_.size()]->queue.peakDepth();
+}
+
+void
+AsyncEmulatorBank::workerLoop(Worker& worker)
+{
+    Chunk chunk;
+    while (worker.queue.pop(chunk)) {
+        const std::vector<BusTransaction>& txns = *chunk;
+        for (unsigned idx : worker.emulators) {
+            Dragonhead& emu = *emulators_[idx];
+            for (const BusTransaction& txn : txns)
+                emu.observe(txn);
+        }
+        const std::size_t n_txns = txns.size();
+        chunk.reset();
+        {
+            std::lock_guard<std::mutex> lock(syncMutex_);
+            for (unsigned idx : worker.emulators) {
+                ++stats_[idx].batches;
+                stats_[idx].txns += n_txns;
+            }
+            ++worker.chunksDone;
+        }
+        syncCv_.notify_all();
+    }
+}
+
+} // namespace cosim

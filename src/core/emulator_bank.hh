@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Host-parallel bank of passive Dragonhead emulators.
+ *
+ * The physical Dragonhead board emulated its cache slices on four CC
+ * FPGAs *concurrently with* the workload's execution; the serial software
+ * reproduction lost that, paying every emulator's cache-model cost on the
+ * one host thread that runs the workload. The AsyncEmulatorBank restores
+ * the overlap: it attaches to the front-side bus as a single snooper,
+ * accumulates transactions into fixed-size chunks, and ships each chunk
+ * through a bounded SPSC queue to worker threads that own the Dragonhead
+ * instances. Emulation is passive and the emulators share no state, so
+ * every emulator still sees the complete transaction sequence in issue
+ * order -- results are bit-identical to serial snooping (a test suite
+ * enforces this), only the host wall-clock changes.
+ *
+ * With more emulators than workers, emulator i is pinned to worker
+ * i % nThreads; a worker runs its emulators sequentially per chunk.
+ * Backpressure: bounded queues block the producing (workload) thread when
+ * a worker falls behind, capping buffered history.
+ */
+
+#ifndef COSIM_CORE_EMULATOR_BANK_HH
+#define COSIM_CORE_EMULATOR_BANK_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/spsc_queue.hh"
+#include "dragonhead/dragonhead.hh"
+#include "mem/fsb.hh"
+
+namespace cosim {
+
+/** Static configuration of the bank. */
+struct EmulatorBankParams
+{
+    /** One passive emulator per entry. */
+    std::vector<DragonheadParams> emulators;
+
+    /** Worker threads; 0 = one per emulator. */
+    unsigned nThreads = 0;
+
+    /** Transactions per delivery chunk. */
+    std::size_t chunkTxns = 4096;
+
+    /** Chunks in flight per worker before the producer blocks. */
+    std::size_t queueChunks = 64;
+};
+
+/** Per-emulator delivery counters (read after sync()). */
+struct EmulatorWorkerStats
+{
+    std::uint64_t batches = 0; ///< chunks emulated
+    std::uint64_t txns = 0;    ///< transactions emulated
+};
+
+/** See file comment. */
+class AsyncEmulatorBank : public BusSnooper
+{
+  public:
+    explicit AsyncEmulatorBank(const EmulatorBankParams& params);
+    ~AsyncEmulatorBank() override;
+
+    AsyncEmulatorBank(const AsyncEmulatorBank&) = delete;
+    AsyncEmulatorBank& operator=(const AsyncEmulatorBank&) = delete;
+
+    /** BusSnooper: buffer one transaction into the pending chunk. */
+    void observe(const BusTransaction& txn) override;
+
+    /** BusSnooper: buffer a chunk (the batched-FSB delivery path). */
+    void observeBatch(const BusTransaction* txns, std::size_t n) override;
+
+    /**
+     * Publish the pending partial chunk and block until every worker has
+     * drained its queue. Emulator results are only meaningful afterwards.
+     */
+    void sync();
+
+    /** sync(), then return every emulator to power-on state. */
+    void reset();
+
+    unsigned nEmulators() const
+    {
+        return static_cast<unsigned>(emulators_.size());
+    }
+
+    unsigned nThreads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Emulator access; call sync() first for settled results. */
+    Dragonhead& emulator(unsigned i);
+    const Dragonhead& emulator(unsigned i) const;
+
+    /** Delivery counters of emulator @p i (valid after sync()). */
+    const EmulatorWorkerStats& emulatorStats(unsigned i) const;
+
+    /** Queue-depth high-water of the worker owning emulator @p i. */
+    std::size_t queuePeak(unsigned i) const;
+
+  private:
+    /** One immutable chunk, shared by every worker's queue. */
+    using Chunk = std::shared_ptr<const std::vector<BusTransaction>>;
+
+    struct Worker
+    {
+        explicit Worker(std::size_t queue_chunks) : queue(queue_chunks) {}
+
+        SpscQueue<Chunk> queue;
+        std::vector<unsigned> emulators; ///< indices into emulators_
+        /** Chunks fully emulated; guarded by syncMutex_. */
+        std::uint64_t chunksDone = 0;
+        /** Chunks pushed; written and read by the producer thread only. */
+        std::uint64_t chunksPushed = 0;
+        std::thread thread;
+    };
+
+    void publishPending();
+    void workerLoop(Worker& worker);
+
+    EmulatorBankParams params_;
+    std::vector<std::unique_ptr<Dragonhead>> emulators_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    /** Guarded by syncMutex_ (written by workers, read after sync). */
+    std::vector<EmulatorWorkerStats> stats_;
+    std::vector<BusTransaction> pending_;
+
+    std::mutex syncMutex_;
+    std::condition_variable syncCv_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_CORE_EMULATOR_BANK_HH

@@ -96,6 +96,14 @@ Dragonhead::observe(const BusTransaction& txn)
     ccs_[slice]->handleDemand(folded, write, core);
 }
 
+void
+Dragonhead::observeBatch(const BusTransaction* txns, std::size_t n)
+{
+    // Qualified call: no virtual dispatch inside the chunk loop.
+    for (std::size_t i = 0; i < n; ++i)
+        Dragonhead::observe(txns[i]);
+}
+
 LlcResults
 Dragonhead::results() const
 {
@@ -128,7 +136,7 @@ Dragonhead::slice(unsigned i) const
     return *ccs_[i];
 }
 
-void
+stats::Group&
 Dragonhead::registerStats(obs::StatsRegistry& registry,
                           const std::string& prefix) const
 {
@@ -141,13 +149,14 @@ Dragonhead::registerStats(obs::StatsRegistry& registry,
     agg.add("miss_rate", [this] { return results().missRate(); });
     agg.add("samples",
             [this] { return double(cb_.samples().size()); });
-    registry.add(std::move(agg));
+    stats::Group& stored = registry.add(std::move(agg));
 
     for (unsigned i = 0; i < nSlices(); ++i) {
         stats::Group g(prefix + ".cc" + std::to_string(i));
         ccs_[i]->addStats(g);
         registry.add(std::move(g));
     }
+    return stored;
 }
 
 void

@@ -94,6 +94,13 @@ class Dragonhead : public BusSnooper
     /** BusSnooper: regulate and emulate one transaction. */
     void observe(const BusTransaction& txn) override;
 
+    /**
+     * BusSnooper: emulate a chunk. Semantically identical to observing
+     * each transaction in turn, but pays the virtual dispatch once per
+     * chunk instead of once per transaction.
+     */
+    void observeBatch(const BusTransaction* txns, std::size_t n) override;
+
     /** Aggregated results over the whole emulation window. */
     LlcResults results() const;
 
@@ -117,9 +124,11 @@ class Dragonhead : public BusSnooper
     /**
      * Register this emulator's stats into @p registry under
      * "<prefix>" (aggregate) and "<prefix>.cc<i>" (per slice).
+     * @return the stored aggregate group, so callers can append stats
+     * of their own (the AsyncEmulatorBank adds delivery counters).
      */
-    void registerStats(obs::StatsRegistry& registry,
-                       const std::string& prefix) const;
+    stats::Group& registerStats(obs::StatsRegistry& registry,
+                                const std::string& prefix) const;
 
   private:
     DragonheadParams params_;

@@ -34,7 +34,11 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
                 "  --stats=<file>   dump the stats registry "
                 "(.json/.csv/.txt by extension)\n"
                 "  --manifest=<f>   run manifest path (default "
-                "<out>/run.json)\n",
+                "<out>/run.json)\n"
+                "  --jobs=<n>       run up to n sweep cells on parallel "
+                "host threads (default 1)\n"
+                "  --emu-threads=<n> emulate Dragonheads on n worker "
+                "threads per rig (default 0 = inline)\n",
                 bench_description.c_str());
             std::exit(0);
         } else if (startsWith(arg, "--scale=")) {
@@ -64,6 +68,13 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
             opts.manifestFile = arg.substr(11);
             fatal_if(opts.manifestFile.empty(),
                      "--manifest needs a file path");
+        } else if (startsWith(arg, "--jobs=")) {
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 7, nullptr, 10));
+            fatal_if(opts.jobs == 0, "bad --jobs value '%s'", arg.c_str());
+        } else if (startsWith(arg, "--emu-threads=")) {
+            opts.emuThreads = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 14, nullptr, 10));
         } else {
             fatal("unknown option '%s' (try --help)", arg.c_str());
         }

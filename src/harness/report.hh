@@ -31,6 +31,10 @@ struct BenchOptions
     std::string statsFile;
     /** Per-run manifest path; defaults to "<outDir>/run.json". */
     std::string manifestFile;
+    /** Host threads running sweep cells in parallel (1 = serial). */
+    unsigned jobs = 1;
+    /** Host threads per rig emulating Dragonheads (0 = inline/serial). */
+    unsigned emuThreads = 0;
 };
 
 /**
@@ -44,6 +48,8 @@ struct BenchOptions
  *   --trace=<file>   record a Chrome trace-event JSON of the run
  *   --stats=<file>   dump the stats registry (.json/.csv/.txt)
  *   --manifest=<f>   run manifest path (default <out>/run.json)
+ *   --jobs=<n>       run up to n sweep cells on parallel host threads
+ *   --emu-threads=<n> emulate Dragonheads on n worker threads per rig
  *   --help           print usage (and exit 0)
  * Unknown flags are fatal.
  */

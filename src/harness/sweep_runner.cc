@@ -1,8 +1,13 @@
 #include "harness/sweep_runner.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <future>
+#include <memory>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "base/units.hh"
 #include "obs/host_profiler.hh"
 #include "obs/run_manifest.hh"
@@ -11,6 +16,78 @@
 #include "workloads/workload_factory.hh"
 
 namespace cosim {
+
+namespace {
+
+/** Everything one (workload) sweep cell produces. */
+struct CellOutput
+{
+    obs::ManifestWorkload mw;
+    std::vector<double> series;
+    std::vector<SweepPoint> points;
+    RunResult result;
+};
+
+/** Execute one workload on @p cosim and collect every emulator's data. */
+CellOutput
+runCell(CoSimulation& cosim, const std::string& name,
+        const PlatformParams& platform, const BenchOptions& opts)
+{
+    TRACE_SPAN("sweep", "workload");
+    TRACE_INSTANT("sweep", "workload.start");
+
+    auto workload = createWorkload(name, opts.scale);
+
+    WorkloadConfig cfg;
+    cfg.nThreads = platform.nCores;
+    cfg.scale = opts.scale;
+    cfg.seed = opts.seed;
+
+    CellOutput cell;
+    cell.result = cosim.run(*workload, cfg);
+    if (!cell.result.verified) {
+        if (opts.strictVerify) {
+            fatal("%s failed self-verification on %s", name.c_str(),
+                  platform.name.c_str());
+        }
+        warn("%s failed self-verification on %s", name.c_str(),
+             platform.name.c_str());
+    }
+
+    cell.mw.name = workload->name();
+    cell.mw.totalInsts = cell.result.totalInsts;
+    cell.mw.hostSeconds = cell.result.hostSeconds;
+    cell.mw.simMips = cell.result.simMips();
+    cell.mw.verified = cell.result.verified;
+
+    for (unsigned e = 0; e < cosim.nEmulators(); ++e) {
+        const Dragonhead& dh = cosim.emulator(e);
+        LlcResults llc = dh.results();
+
+        SweepPoint point;
+        point.workload = workload->name();
+        point.nCores = platform.nCores;
+        point.llcSize = dh.params().llc.size;
+        point.lineSize = dh.params().llc.lineSize;
+        point.llcAccesses = llc.accesses;
+        point.llcMisses = llc.misses;
+        point.insts = llc.insts;
+        cell.series.push_back(point.mpki());
+        cell.points.push_back(point);
+        cell.mw.mpkiPerConfig.push_back(point.mpki());
+    }
+    // The CB 500 us series that used to be dropped: keep the first
+    // emulated configuration's full-run MPKI samples.
+    if (cosim.nEmulators() > 0) {
+        for (const Sample& s : cosim.emulator(0).samples()) {
+            cell.mw.seriesTimeUs.push_back(s.timeUs);
+            cell.mw.seriesMpki.push_back(s.mpki());
+        }
+    }
+    return cell;
+}
+
+} // namespace
 
 FigureData
 SweepRunner::runFigure(const std::string& figure_id,
@@ -28,7 +105,25 @@ SweepRunner::runFigure(const std::string& figure_id,
     CoSimParams params;
     params.platform = platform;
     params.emulators = emulators;
-    CoSimulation cosim(params);
+    params.emulationThreads = opts_.emuThreads;
+
+    const std::size_t n_cells = opts_.workloads.size();
+    const unsigned jobs = static_cast<unsigned>(
+        std::min<std::size_t>(opts_.jobs, std::max<std::size_t>(n_cells,
+                                                                1)));
+
+    // One rig per cell when cells run in parallel; a single reused rig
+    // (the original behaviour) when serial. Workload executions never
+    // share simulator state either way -- the platform resets per run --
+    // so the two modes produce identical results.
+    std::vector<std::unique_ptr<CoSimulation>> rigs;
+    rigs.reserve(jobs > 1 ? n_cells : 1);
+    if (jobs > 1) {
+        for (std::size_t i = 0; i < n_cells; ++i)
+            rigs.push_back(std::make_unique<CoSimulation>(params));
+    } else {
+        rigs.push_back(std::make_unique<CoSimulation>(params));
+    }
 
     obs::RunManifest manifest;
     manifest.figureId = figure_id;
@@ -37,81 +132,64 @@ SweepRunner::runFigure(const std::string& figure_id,
     manifest.scale = opts_.scale;
     manifest.seed = opts_.seed;
     manifest.configTicks = ticks;
+    manifest.hostJobs = jobs;
+    manifest.emulationThreads = rigs.back()->emulationThreads();
 
-    std::size_t done = 0;
-    for (const std::string& name : opts_.workloads) {
-        TRACE_SPAN("sweep", "workload");
-        TRACE_INSTANT("sweep", "workload.start");
-        debug("sweep %s: starting %s (%zu/%zu)", figure_id.c_str(),
-              name.c_str(), done + 1, opts_.workloads.size());
-
-        auto workload = createWorkload(name, opts_.scale);
-
-        WorkloadConfig cfg;
-        cfg.nThreads = platform.nCores;
-        cfg.scale = opts_.scale;
-        cfg.seed = opts_.seed;
-
-        RunResult result = cosim.run(*workload, cfg);
-        if (!result.verified) {
-            if (opts_.strictVerify) {
-                fatal("%s failed self-verification on %s", name.c_str(),
-                      platform.name.c_str());
-            }
-            warn("%s failed self-verification on %s", name.c_str(),
-                 platform.name.c_str());
+    auto wall0 = std::chrono::steady_clock::now();
+    std::vector<CellOutput> cells(n_cells);
+    if (jobs > 1) {
+        // Only the aggregation below touches shared state; each cell
+        // owns its rig and its workload.
+        ThreadPool pool(jobs);
+        std::vector<std::future<CellOutput>> futures;
+        futures.reserve(n_cells);
+        for (std::size_t i = 0; i < n_cells; ++i) {
+            CoSimulation* rig = rigs[i].get();
+            const std::string& name = opts_.workloads[i];
+            futures.push_back(pool.submit([this, rig, &name, &platform] {
+                return runCell(*rig, name, platform, opts_);
+            }));
         }
-
-        obs::ManifestWorkload mw;
-        mw.name = workload->name();
-        mw.totalInsts = result.totalInsts;
-        mw.hostSeconds = result.hostSeconds;
-        mw.simMips = result.simMips();
-        mw.verified = result.verified;
-
-        std::vector<double> series;
-        std::vector<SweepPoint> points;
-        for (unsigned e = 0; e < cosim.nEmulators(); ++e) {
-            const Dragonhead& dh = cosim.emulator(e);
-            LlcResults llc = dh.results();
-
-            SweepPoint point;
-            point.workload = workload->name();
-            point.nCores = platform.nCores;
-            point.llcSize = dh.params().llc.size;
-            point.lineSize = dh.params().llc.lineSize;
-            point.llcAccesses = llc.accesses;
-            point.llcMisses = llc.misses;
-            point.insts = llc.insts;
-            series.push_back(point.mpki());
-            points.push_back(point);
-            mw.mpkiPerConfig.push_back(point.mpki());
+        for (std::size_t i = 0; i < n_cells; ++i)
+            cells[i] = futures[i].get();
+    } else {
+        for (std::size_t i = 0; i < n_cells; ++i) {
+            debug("sweep %s: starting %s (%zu/%zu)", figure_id.c_str(),
+                  opts_.workloads[i].c_str(), i + 1, n_cells);
+            cells[i] = runCell(*rigs[0], opts_.workloads[i], platform,
+                               opts_);
         }
-        // The CB 500 us series that used to be dropped: keep the first
-        // emulated configuration's full-run MPKI samples.
-        if (cosim.nEmulators() > 0) {
-            for (const Sample& s : cosim.emulator(0).samples()) {
-                mw.seriesTimeUs.push_back(s.timeUs);
-                mw.seriesMpki.push_back(s.mpki());
-            }
-        }
-        manifest.workloads.push_back(std::move(mw));
-        figure.addSeries(workload->name(), series, std::move(points));
-
-        ++done;
-        std::printf("  %-9s %8.1fM inst  %6.2fs host  %5.1f MIPS  "
-                    "verified=%s  [%zu/%zu]\n",
-                    workload->name().c_str(),
-                    static_cast<double>(result.totalInsts) / 1e6,
-                    result.hostSeconds, result.simMips(),
-                    result.verified ? "yes" : "NO", done,
-                    opts_.workloads.size());
     }
+    manifest.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall0)
+            .count();
+
+    // Aggregate in workload order regardless of completion order, so the
+    // figure and manifest are deterministic.
+    double host_sum = 0.0;
+    for (std::size_t i = 0; i < n_cells; ++i) {
+        CellOutput& cell = cells[i];
+        host_sum += cell.result.hostSeconds;
+        manifest.workloads.push_back(cell.mw);
+        figure.addSeries(cell.mw.name, cell.series,
+                         std::move(cell.points));
+        std::printf("  %-9s %8.1fM inst  %6.2fs host  %5.1f MIPS  "
+                    "verified=%s  [%zu/%zu]\n", cell.mw.name.c_str(),
+                    static_cast<double>(cell.result.totalInsts) / 1e6,
+                    cell.result.hostSeconds, cell.result.simMips(),
+                    cell.result.verified ? "yes" : "NO", i + 1, n_cells);
+    }
+    manifest.hostSpeedup = manifest.wallSeconds > 0.0
+        ? host_sum / manifest.wallSeconds
+        : 0.0;
 
     // Publish the rig's component stats and the host profile through the
-    // uniform registry dumpers.
+    // uniform registry dumpers. With parallel cells, the last rig's
+    // counters are registered -- the same "state after the final
+    // workload" view the reused serial rig exposes.
     obs::StatsRegistry& registry = obs::StatsRegistry::global();
-    cosim.registerStats(registry);
+    rigs.back()->registerStats(registry);
     registry.add(obs::HostProfiler::global().statsGroup());
     if (!opts_.statsFile.empty()) {
         registry.writeFile(opts_.statsFile);

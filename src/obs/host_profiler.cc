@@ -5,6 +5,18 @@
 namespace cosim {
 namespace obs {
 
+namespace {
+
+double
+mipsOf(std::uint64_t insts, double seconds)
+{
+    return seconds <= 0.0
+        ? 0.0
+        : static_cast<double>(insts) / 1e6 / seconds;
+}
+
+} // namespace
+
 HostProfiler&
 HostProfiler::global()
 {
@@ -15,6 +27,7 @@ HostProfiler::global()
 HostProfiler::PhaseTotal&
 HostProfiler::phase(const std::string& name)
 {
+    // Caller holds mutex_.
     for (PhaseTotal& p : phases_) {
         if (p.name == name)
             return p;
@@ -26,6 +39,7 @@ HostProfiler::phase(const std::string& name)
 void
 HostProfiler::accumulate(const std::string& name, double seconds)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     PhaseTotal& p = phase(name);
     p.seconds += seconds;
     ++p.calls;
@@ -34,13 +48,30 @@ HostProfiler::accumulate(const std::string& name, double seconds)
 void
 HostProfiler::addSimulated(std::uint64_t insts, double seconds)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     simInsts_ += insts;
     simSeconds_ += seconds;
+}
+
+void
+HostProfiler::noteEmulationThreads(unsigned n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (n > emuThreads_)
+        emuThreads_ = n;
+}
+
+unsigned
+HostProfiler::emulationThreads() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return emuThreads_;
 }
 
 double
 HostProfiler::seconds(const std::string& name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const PhaseTotal& p : phases_) {
         if (p.name == name)
             return p.seconds;
@@ -51,6 +82,7 @@ HostProfiler::seconds(const std::string& name) const
 std::uint64_t
 HostProfiler::calls(const std::string& name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const PhaseTotal& p : phases_) {
         if (p.name == name)
             return p.calls;
@@ -58,27 +90,50 @@ HostProfiler::calls(const std::string& name) const
     return 0;
 }
 
+std::vector<HostProfiler::PhaseTotal>
+HostProfiler::phases() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return phases_;
+}
+
+std::uint64_t
+HostProfiler::simulatedInsts() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return simInsts_;
+}
+
+double
+HostProfiler::simulatedSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return simSeconds_;
+}
+
 double
 HostProfiler::simulatedMips() const
 {
-    return simSeconds_ <= 0.0
-        ? 0.0
-        : static_cast<double>(simInsts_) / 1e6 / simSeconds_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return mipsOf(simInsts_, simSeconds_);
 }
 
 std::string
 HostProfiler::report() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::string out = "host profile:\n";
     for (const PhaseTotal& p : phases_) {
         out += strFormat("  %-24s %9.3fs  %8llu calls\n", p.name.c_str(),
                          p.seconds,
                          static_cast<unsigned long long>(p.calls));
     }
+    if (emuThreads_ > 0)
+        out += strFormat("  emulation threads        %9u\n", emuThreads_);
     if (simSeconds_ > 0.0) {
         out += strFormat("  simulated %.1fM insts in %.3fs -> %.1f MIPS\n",
                          static_cast<double>(simInsts_) / 1e6, simSeconds_,
-                         simulatedMips());
+                         mipsOf(simInsts_, simSeconds_));
     }
     return out;
 }
@@ -86,6 +141,7 @@ HostProfiler::report() const
 stats::Group
 HostProfiler::statsGroup(const std::string& name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     stats::Group g(name);
     for (const PhaseTotal& p : phases_) {
         double secs = p.seconds;
@@ -95,18 +151,23 @@ HostProfiler::statsGroup(const std::string& name) const
               [n] { return static_cast<double>(n); });
     }
     std::uint64_t insts = simInsts_;
-    double mips = simulatedMips();
+    double mips = mipsOf(simInsts_, simSeconds_);
+    unsigned emu_threads = emuThreads_;
     g.add("sim_insts", [insts] { return static_cast<double>(insts); });
     g.add("sim_mips", [mips] { return mips; });
+    g.add("emulation_threads",
+          [emu_threads] { return static_cast<double>(emu_threads); });
     return g;
 }
 
 void
 HostProfiler::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     phases_.clear();
     simInsts_ = 0;
     simSeconds_ = 0.0;
+    emuThreads_ = 0;
 }
 
 } // namespace obs

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -45,14 +46,21 @@ class HostProfiler
     /** Feed the MIPS gauge: @p insts simulated in @p seconds. */
     void addSimulated(std::uint64_t insts, double seconds);
 
+    /**
+     * Record that @p n host threads emulated Dragonheads this process.
+     * Keeps the maximum seen, exported as the "emulation_threads" stat.
+     */
+    void noteEmulationThreads(unsigned n);
+    unsigned emulationThreads() const;
+
     double seconds(const std::string& name) const;
     std::uint64_t calls(const std::string& name) const;
 
-    /** Phases in first-seen order. */
-    const std::vector<PhaseTotal>& phases() const { return phases_; }
+    /** Snapshot of the phases, in first-seen order. */
+    std::vector<PhaseTotal> phases() const;
 
-    std::uint64_t simulatedInsts() const { return simInsts_; }
-    double simulatedSeconds() const { return simSeconds_; }
+    std::uint64_t simulatedInsts() const;
+    double simulatedSeconds() const;
 
     /** Simulated MIPS over everything fed to the gauge so far. */
     double simulatedMips() const;
@@ -72,9 +80,13 @@ class HostProfiler
   private:
     PhaseTotal& phase(const std::string& name);
 
+    // All state below is guarded by mutex_: parallel sweep cells and the
+    // emulator-bank drain accounting feed the profiler concurrently.
+    mutable std::mutex mutex_;
     std::vector<PhaseTotal> phases_;
     std::uint64_t simInsts_ = 0;
     double simSeconds_ = 0.0;
+    unsigned emuThreads_ = 0;
 };
 
 /** RAII wall-clock timer accumulating into a HostProfiler phase. */

@@ -62,6 +62,10 @@ RunManifest::toJson() const
            ", \"ticks\": " + stringArray(configTicks) + "},\n";
 
     out += "  \"host\": {\"sim_mips\": " + json::number(hostSimMips) +
+           ", \"jobs\": " + json::number(hostJobs) +
+           ", \"emulation_threads\": " + json::number(emulationThreads) +
+           ", \"wall_seconds\": " + json::number(wallSeconds) +
+           ", \"speedup\": " + json::number(hostSpeedup) +
            ", \"phases\": [";
     for (std::size_t i = 0; i < hostPhases.size(); ++i) {
         const ManifestHostPhase& p = hostPhases[i];

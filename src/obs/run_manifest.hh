@@ -68,6 +68,17 @@ struct RunManifest
     std::vector<ManifestHostPhase> hostPhases;
     double hostSimMips = 0.0;
 
+    /** @name Host-parallelism record @{ */
+    /** Sweep cells run on this many parallel host threads. */
+    unsigned hostJobs = 1;
+    /** Dragonhead emulation worker threads per rig (0 = inline). */
+    unsigned emulationThreads = 0;
+    /** Wall-clock of the whole sweep phase. */
+    double wallSeconds = 0.0;
+    /** Sum of per-workload host seconds over wallSeconds (>= ~1). */
+    double hostSpeedup = 0.0;
+    /** @} */
+
     /** Serialize (pretty-printed JSON, schema + buildRevision included). */
     std::string toJson() const;
 

@@ -19,6 +19,7 @@ StatsRegistry::global()
 stats::Group&
 StatsRegistry::add(stats::Group group)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (stats::Group& g : groups_) {
         if (g.name() == group.name()) {
             g = std::move(group);
@@ -38,12 +39,14 @@ StatsRegistry::makeGroup(const std::string& name)
 void
 StatsRegistry::clear()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     groups_.clear();
 }
 
 std::vector<std::string>
 StatsRegistry::groupNames() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::string> out;
     out.reserve(groups_.size());
     for (const stats::Group& g : groups_)
@@ -54,6 +57,7 @@ StatsRegistry::groupNames() const
 const stats::Group*
 StatsRegistry::find(const std::string& name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const stats::Group& g : groups_) {
         if (g.name() == name)
             return &g;
@@ -64,6 +68,7 @@ StatsRegistry::find(const std::string& name) const
 std::string
 StatsRegistry::dumpText() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::string out;
     for (const stats::Group& g : groups_)
         out += g.dump();
@@ -73,6 +78,7 @@ StatsRegistry::dumpText() const
 std::string
 StatsRegistry::dumpJson() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::string out = "{";
     bool first_group = true;
     for (const stats::Group& g : groups_) {
@@ -97,6 +103,7 @@ StatsRegistry::dumpJson() const
 std::string
 StatsRegistry::dumpCsv() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::string out = "stat,value\n";
     for (const stats::Group& g : groups_) {
         for (const auto& [stat_name, value] : g.collect()) {

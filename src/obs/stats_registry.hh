@@ -17,12 +17,17 @@
  * owning component, so a registry snapshot is only valid while those
  * components are alive. Re-registering a group name replaces the old
  * group, which makes per-run re-registration idempotent.
+ *
+ * Registration and dumping are mutex-protected so parallel sweep cells
+ * can register concurrently; the *formulas themselves* still read
+ * component state unlocked, so dump only while the components are quiet.
  */
 
 #ifndef COSIM_OBS_STATS_REGISTRY_HH
 #define COSIM_OBS_STATS_REGISTRY_HH
 
 #include <deque>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,7 +55,11 @@ class StatsRegistry
     /** Drop every registered group. */
     void clear();
 
-    std::size_t size() const { return groups_.size(); }
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return groups_.size();
+    }
 
     /** Registered group names, in registration order. */
     std::vector<std::string> groupNames() const;
@@ -76,6 +85,7 @@ class StatsRegistry
   private:
     // Deque: references returned by add() stay valid as groups are added.
     std::deque<stats::Group> groups_;
+    mutable std::mutex mutex_;
 };
 
 } // namespace obs

@@ -139,6 +139,10 @@ VirtualPlatform::run(Workload& workload, const WorkloadConfig& cfg)
     {
         TRACE_SPAN("platform", "scheduler.run");
         scheduler.run(slots);
+        // When the bus runs batched, a partial chunk may still be
+        // buffered; deliver it inside the timed window -- snoopers must
+        // see the complete run before anyone reads their results.
+        fsb_.flush();
     }
     auto t1 = std::chrono::steady_clock::now();
 

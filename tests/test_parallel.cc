@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Determinism suite for host-parallel emulation.
+ *
+ * The whole point of the AsyncEmulatorBank is that it changes *when* the
+ * emulators run, never *what* they compute: emulation is passive and the
+ * chunked bus preserves issue order, so every counter, MPKI value, and
+ * ControlBlock 500 us sample window must be bit-identical to serial
+ * inline snooping. These tests enforce that across 2 workloads x 3
+ * emulator configs x several thread counts, plus the batched-FSB
+ * delivery semantics and the parallel sweep harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "base/units.hh"
+#include "core/cosim.hh"
+#include "core/experiment.hh"
+#include "core/results.hh"
+#include "harness/sweep_runner.hh"
+#include "obs/host_profiler.hh"
+#include "test_util.hh"
+
+namespace cosim {
+namespace {
+
+PlatformParams
+smallCmp(unsigned cores)
+{
+    PlatformParams p;
+    p.name = "testCMP";
+    p.nCores = cores;
+    p.cpu.baseCpi = 1.0;
+    p.cpu.caches.l1 = {"l1", 1 * KiB, 64, 2, ReplPolicy::LRU};
+    p.cpu.caches.hasL2 = false;
+    p.cpu.useDramLatency = false;
+    p.cpu.beyondLatency = 50;
+    p.cpu.emitFsbTraffic = true;
+    p.dex.quantumInsts = 2000;
+    return p;
+}
+
+DragonheadParams
+llc(std::uint64_t size)
+{
+    DragonheadParams dh;
+    dh.llc = {"llc", size, 64, 4, ReplPolicy::LRU};
+    dh.nSlices = 4;
+    dh.maxCores = 8;
+    return dh;
+}
+
+/** The 3-config sweep every determinism case emulates. */
+std::vector<DragonheadParams>
+sweepConfigs()
+{
+    return {llc(8 * KiB), llc(64 * KiB), llc(256 * KiB)};
+}
+
+/**
+ * Everything an emulation run produced, bit-exact: per-emulator LLC
+ * counters, per-core counters, and the full CB 500 us sample series.
+ */
+struct Fingerprint
+{
+    std::vector<std::uint64_t> counters;
+    std::vector<double> samples;
+
+    bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint
+fingerprintOf(const CoSimulation& cosim, unsigned n_cores)
+{
+    Fingerprint fp;
+    for (unsigned e = 0; e < cosim.nEmulators(); ++e) {
+        const Dragonhead& dh = cosim.emulator(e);
+        LlcResults r = dh.results();
+        fp.counters.push_back(r.accesses);
+        fp.counters.push_back(r.misses);
+        fp.counters.push_back(r.insts);
+        fp.counters.push_back(r.cycles);
+        for (unsigned c = 0; c < n_cores; ++c) {
+            CoreCounters cc = dh.coreResults(static_cast<CoreId>(c));
+            fp.counters.push_back(cc.accesses);
+            fp.counters.push_back(cc.misses);
+        }
+        for (const Sample& s : dh.samples()) {
+            fp.samples.push_back(s.timeUs);
+            fp.samples.push_back(static_cast<double>(s.insts));
+            fp.samples.push_back(static_cast<double>(s.accesses));
+            fp.samples.push_back(static_cast<double>(s.misses));
+            fp.samples.push_back(s.mpki());
+        }
+    }
+    return fp;
+}
+
+/** Run one workload with the given emulation mode and fingerprint it. */
+Fingerprint
+runOnce(unsigned emu_threads, std::size_t chunk_txns, bool shared_array)
+{
+    const unsigned cores = 4;
+    CoSimParams params;
+    params.platform = smallCmp(cores);
+    params.emulators = sweepConfigs();
+    params.emulationThreads = emu_threads;
+    params.fsbBatchTxns = chunk_txns;
+    CoSimulation cosim(params);
+
+    test::LoopWorkload wl(16 * KiB, 4, shared_array);
+    WorkloadConfig cfg;
+    cfg.nThreads = cores;
+    RunResult r = cosim.run(wl, cfg);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(cosim.nEmulators(), 3u);
+    EXPECT_EQ(cosim.emulationThreads(),
+              emu_threads == 0 ? 0u : std::min(emu_threads, 3u));
+    return fingerprintOf(cosim, cores);
+}
+
+TEST(ParallelEmulation, BitIdenticalToSerialAcrossThreadCounts)
+{
+    for (bool shared : {false, true}) {
+        Fingerprint serial = runOnce(0, 0, shared);
+        ASSERT_FALSE(serial.counters.empty());
+        ASSERT_FALSE(serial.samples.empty());
+        for (unsigned threads : {1u, 2u, 4u}) {
+            // Small chunks force many batches through the queues.
+            Fingerprint parallel = runOnce(threads, 256, shared);
+            EXPECT_EQ(parallel, serial)
+                << "threads=" << threads << " shared=" << shared;
+        }
+    }
+}
+
+TEST(ParallelEmulation, SerialBatchedDeliveryIsIdenticalToImmediate)
+{
+    // Batching alone (no worker threads) must not change anything: the
+    // same transactions arrive in the same order, just chunk-deferred.
+    for (bool shared : {false, true}) {
+        Fingerprint immediate = runOnce(0, 0, shared);
+        EXPECT_EQ(runOnce(0, 64, shared), immediate);
+        EXPECT_EQ(runOnce(0, 4096, shared), immediate);
+    }
+}
+
+TEST(ParallelEmulation, ChunkSizeDoesNotChangeResults)
+{
+    Fingerprint base = runOnce(2, 128, false);
+    EXPECT_EQ(runOnce(2, 1, false), base);
+    EXPECT_EQ(runOnce(2, 1024, false), base);
+}
+
+TEST(ParallelEmulation, BankReportsDeliveryStats)
+{
+    CoSimParams params;
+    params.platform = smallCmp(2);
+    params.emulators = sweepConfigs();
+    params.emulationThreads = 2;
+    params.fsbBatchTxns = 128;
+    CoSimulation cosim(params);
+
+    test::LoopWorkload wl(8 * KiB, 3);
+    WorkloadConfig cfg;
+    cfg.nThreads = 2;
+    cosim.run(wl, cfg);
+
+    const AsyncEmulatorBank* bank = cosim.bank();
+    ASSERT_NE(bank, nullptr);
+    EXPECT_EQ(bank->nEmulators(), 3u);
+    EXPECT_EQ(bank->nThreads(), 2u);
+
+    const std::uint64_t fsb_txns =
+        cosim.platform().fsb().txnCount();
+    for (unsigned e = 0; e < bank->nEmulators(); ++e) {
+        const EmulatorWorkerStats& s = bank->emulatorStats(e);
+        EXPECT_GT(s.batches, 1u) << "emulator " << e;
+        // Every emulator saw the complete transaction stream.
+        EXPECT_EQ(s.txns, fsb_txns) << "emulator " << e;
+        EXPECT_GE(bank->queuePeak(e), 1u);
+    }
+    // The bus delivered in chunks: fewer batches than transactions.
+    EXPECT_GT(cosim.platform().fsb().batchCount(), 0u);
+    EXPECT_LT(cosim.platform().fsb().batchCount(), fsb_txns);
+}
+
+TEST(ParallelEmulation, RegistersWorkerStatsInRegistry)
+{
+    obs::StatsRegistry registry;
+    CoSimParams params;
+    params.platform = smallCmp(2);
+    params.emulators = {llc(8 * KiB), llc(64 * KiB)};
+    params.emulationThreads = 2;
+    params.fsbBatchTxns = 64;
+    CoSimulation cosim(params);
+
+    test::LoopWorkload wl(4 * KiB, 2);
+    WorkloadConfig cfg;
+    cfg.nThreads = 2;
+    cosim.run(wl, cfg);
+    cosim.registerStats(registry);
+
+    const stats::Group* g = registry.find("dragonhead0");
+    ASSERT_NE(g, nullptr);
+    bool saw_batches = false;
+    bool saw_peak = false;
+    for (const auto& [name, value] : g->collect()) {
+        if (name == "batches") {
+            saw_batches = true;
+            EXPECT_GT(value, 0.0);
+        }
+        if (name == "queue_peak") {
+            saw_peak = true;
+            EXPECT_GE(value, 1.0);
+        }
+    }
+    EXPECT_TRUE(saw_batches);
+    EXPECT_TRUE(saw_peak);
+    EXPECT_GE(obs::HostProfiler::global().emulationThreads(), 2u);
+}
+
+TEST(FsbBatch, ChunksPreserveIssueOrderAndFlushOnCapacity)
+{
+    FrontSideBus fsb;
+
+    struct Recorder : BusSnooper
+    {
+        void observe(const BusTransaction& txn) override
+        {
+            addrs.push_back(txn.addr);
+        }
+        void observeBatch(const BusTransaction* txns,
+                          std::size_t n) override
+        {
+            batchSizes.push_back(n);
+            BusSnooper::observeBatch(txns, n);
+        }
+        std::vector<Addr> addrs;
+        std::vector<std::size_t> batchSizes;
+    } rec;
+
+    fsb.attach(&rec);
+    fsb.setBatchCapacity(4);
+
+    BusTransaction txn;
+    txn.size = 64;
+    txn.kind = TxnKind::ReadLine;
+    for (Addr a = 0; a < 10; ++a) {
+        txn.addr = a * 64;
+        fsb.issue(txn);
+    }
+    // 10 issues, capacity 4: two full chunks delivered, 2 txns pending.
+    EXPECT_EQ(rec.addrs.size(), 8u);
+    EXPECT_EQ(fsb.pendingTxns(), 2u);
+    fsb.flush();
+    EXPECT_EQ(fsb.pendingTxns(), 0u);
+    ASSERT_EQ(rec.addrs.size(), 10u);
+    for (Addr a = 0; a < 10; ++a)
+        EXPECT_EQ(rec.addrs[static_cast<std::size_t>(a)], a * 64);
+    ASSERT_EQ(rec.batchSizes.size(), 3u);
+    EXPECT_EQ(rec.batchSizes[0], 4u);
+    EXPECT_EQ(rec.batchSizes[1], 4u);
+    EXPECT_EQ(rec.batchSizes[2], 2u);
+    EXPECT_EQ(fsb.batchCount(), 3u);
+    // Counters accrue at issue time, not delivery time.
+    EXPECT_EQ(fsb.txnCount(), 10u);
+
+    fsb.detach(&rec);
+}
+
+TEST(FsbBatch, SwitchingCapacityFlushesFirst)
+{
+    FrontSideBus fsb;
+    test::CountingSnooper snoop;
+    fsb.attach(&snoop);
+    fsb.setBatchCapacity(100);
+
+    BusTransaction txn;
+    txn.size = 64;
+    txn.kind = TxnKind::WriteLine;
+    fsb.issue(txn);
+    fsb.issue(txn);
+    EXPECT_EQ(snoop.total, 0u); // buffered
+    fsb.setBatchCapacity(0);    // back to immediate: must flush
+    EXPECT_EQ(snoop.total, 2u);
+    fsb.issue(txn);
+    EXPECT_EQ(snoop.total, 3u); // immediate again
+    fsb.detach(&snoop);
+}
+
+TEST(FsbBatchDeathTest, DetachDuringBroadcastPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+
+    struct Detacher : BusSnooper
+    {
+        FrontSideBus* bus = nullptr;
+        void observe(const BusTransaction&) override { bus->detach(this); }
+    };
+
+    EXPECT_DEATH(
+        {
+            FrontSideBus fsb;
+            Detacher d;
+            d.bus = &fsb;
+            fsb.attach(&d);
+            BusTransaction txn;
+            txn.kind = TxnKind::ReadLine;
+            fsb.issue(txn);
+        },
+        "detach\\(\\) from inside a bus broadcast");
+}
+
+TEST(ParallelSweep, JobsProduceIdenticalFigures)
+{
+    // The miniature Figure-4 path, serial vs two parallel cells. The
+    // figure series and the underlying integer counters must match
+    // exactly; only host wall-clock may differ.
+    BenchOptions opts;
+    opts.scale = 0.02;
+    opts.workloads = {"PLSA", "FIMI"};
+
+    PlatformParams platform = presets::cmpPlatform("tiny", 2);
+
+    BenchOptions serial_opts = opts;
+    serial_opts.jobs = 1;
+    FigureData serial =
+        SweepRunner(serial_opts).runCacheSizeFigure("FigA", platform);
+
+    BenchOptions parallel_opts = opts;
+    parallel_opts.jobs = 2;
+    parallel_opts.emuThreads = 2;
+    FigureData parallel =
+        SweepRunner(parallel_opts).runCacheSizeFigure("FigB", platform);
+
+    ASSERT_EQ(serial.seriesNames(), parallel.seriesNames());
+    for (const std::string& name : serial.seriesNames()) {
+        EXPECT_EQ(serial.series(name), parallel.series(name)) << name;
+        const auto& sp = serial.points(name);
+        const auto& pp = parallel.points(name);
+        ASSERT_EQ(sp.size(), pp.size());
+        for (std::size_t i = 0; i < sp.size(); ++i) {
+            EXPECT_EQ(sp[i].llcAccesses, pp[i].llcAccesses);
+            EXPECT_EQ(sp[i].llcMisses, pp[i].llcMisses);
+            EXPECT_EQ(sp[i].insts, pp[i].insts);
+        }
+    }
+}
+
+} // namespace
+} // namespace cosim

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the host-parallelism primitives: ThreadPool (FIFO
+ * dispatch, future results, exception propagation, drain-on-destruction)
+ * and the bounded SpscQueue (ordering, backpressure, close semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "base/spsc_queue.hh"
+#include "base/thread_pool.hh"
+
+namespace cosim {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResultsThroughFutures)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    auto good = pool.submit([] { return 7; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // One task throwing must not take the pool down.
+    EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder)
+{
+    std::vector<int> order;
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 16; ++i)
+            pool.submit([i, &order] { order.push_back(i); });
+        pool.wait();
+    }
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 8; ++i) {
+            pool.submit([&ran] {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                ++ran;
+            });
+        }
+        // Destroy while most tasks are still queued.
+    }
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, WaitBlocksUntilEveryTaskFinished)
+{
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 24; ++i) {
+        pool.submit([&ran] {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            ++ran;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(ran.load(), 24);
+    EXPECT_EQ(pool.queuedTasks(), 0u);
+    // wait() on an idle pool returns immediately.
+    pool.wait();
+}
+
+TEST(ThreadPool, SizeAndHardwareThreads)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolDeathTest, ZeroWorkersIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT({ ThreadPool pool(0); }, ::testing::ExitedWithCode(1),
+                "at least one worker");
+}
+
+TEST(SpscQueue, PreservesFifoOrder)
+{
+    SpscQueue<int> q(64);
+    for (int i = 0; i < 32; ++i)
+        q.push(i);
+    int out = -1;
+    for (int i = 0; i < 32; ++i) {
+        ASSERT_TRUE(q.pop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SpscQueue, CloseWakesConsumerAndDrains)
+{
+    SpscQueue<int> q(8);
+    q.push(1);
+    q.push(2);
+    q.close();
+    int out = 0;
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 1);
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 2);
+    // Closed and drained: pop reports end-of-stream.
+    EXPECT_FALSE(q.pop(out));
+}
+
+TEST(SpscQueue, BackpressureBlocksProducerUntilConsumed)
+{
+    SpscQueue<int> q(2);
+    std::atomic<int> pushed{0};
+    std::thread producer([&] {
+        for (int i = 0; i < 6; ++i) {
+            q.push(i);
+            ++pushed;
+        }
+    });
+    // Capacity 2: the producer cannot get far ahead of the consumer.
+    while (pushed.load() < 2)
+        std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_LE(pushed.load(), 3); // 2 queued + 1 possibly mid-push
+    int out = -1;
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(q.pop(out));
+        EXPECT_EQ(out, i);
+    }
+    producer.join();
+    EXPECT_EQ(pushed.load(), 6);
+    EXPECT_LE(q.peakDepth(), q.capacity());
+}
+
+TEST(SpscQueue, PeakDepthTracksHighWater)
+{
+    SpscQueue<int> q(16);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.peakDepth(), 3u);
+    int out = 0;
+    q.pop(out);
+    q.pop(out);
+    EXPECT_EQ(q.peakDepth(), 3u); // high water survives pops
+    q.resetPeak();
+    EXPECT_EQ(q.peakDepth(), 1u); // resets to current depth
+}
+
+} // namespace
+} // namespace cosim
