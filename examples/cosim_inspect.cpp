@@ -150,6 +150,30 @@ main(int argc, char** argv)
         }
     }
 
+    const Value* stream = doc.find("stream");
+    if (stream != nullptr) {
+        const Value* capture = stream->find("capture");
+        const Value* replay = stream->find("replay");
+        std::printf("  cells: %s, %g guest execution(s)\n",
+                    stringOr(stream->find("cells"), "combined").c_str(),
+                    numberOr(stream->find("guest_executions"), 0.0));
+        if (capture != nullptr &&
+            numberOr(capture->find("txns"), 0.0) > 0.0) {
+            std::printf("  capture: %.0f txns, %.0f bytes, %.3fs "
+                        "encoding\n",
+                        numberOr(capture->find("txns"), 0.0),
+                        numberOr(capture->find("bytes"), 0.0),
+                        numberOr(capture->find("seconds"), 0.0));
+        }
+        if (replay != nullptr &&
+            numberOr(replay->find("txns"), 0.0) > 0.0) {
+            std::printf("  replay: %.0f txns, %.0f bytes, %.3fs\n",
+                        numberOr(replay->find("txns"), 0.0),
+                        numberOr(replay->find("bytes"), 0.0),
+                        numberOr(replay->find("seconds"), 0.0));
+        }
+    }
+
     const Value* workloads = doc.find("workloads");
     if (workloads == nullptr || !workloads->isArray() ||
         workloads->arr.empty()) {
@@ -176,6 +200,10 @@ main(int argc, char** argv)
                         ? (verified->boolean ? "yes" : "NO")
                         : "?",
                     line.c_str());
+        std::string replayed = stringOr(w.find("replayed_from"), "");
+        if (!replayed.empty())
+            std::printf("  %-10s replayed from %s\n", "",
+                        replayed.c_str());
     }
 
     std::printf("\n  500us MPKI series (first config):\n");

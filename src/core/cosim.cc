@@ -83,6 +83,71 @@ CoSimulation::run(Workload& workload, const WorkloadConfig& cfg)
     return result;
 }
 
+void
+CoSimulation::prepareReplay()
+{
+    if (bank_)
+        bank_->reset();
+    for (auto& dh : emulators_)
+        dh->reset();
+    platform_.fsb().resetStats();
+}
+
+RunResult
+CoSimulation::finishReplay(const ReplayResult& rr,
+                           const std::string& source,
+                           ReplayResult* details)
+{
+    fatal_if(!rr.ok, "cannot replay FSB stream (%s): %s", source.c_str(),
+             rr.error.c_str());
+
+    RunResult result;
+    result.hostSeconds = rr.seconds;
+    if (bank_) {
+        // Same accounting as run(): the emulation window closes when
+        // the last queued chunk drains.
+        auto t0 = std::chrono::steady_clock::now();
+        bank_->sync();
+        double drain = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+        result.hostSeconds += drain;
+        obs::HostProfiler::global().accumulate("run.drain", drain);
+    }
+
+    result.workload = rr.meta.workload;
+    result.platform = platform_.params().name;
+    result.nThreads = rr.meta.nCores;
+    result.totalInsts = rr.meta.totalInsts;
+    result.verified = rr.meta.verified;
+    result.replayedFrom = source;
+    obs::HostProfiler::global().addSimulated(0, result.hostSeconds);
+    if (details != nullptr)
+        *details = rr;
+    return result;
+}
+
+RunResult
+CoSimulation::replayFile(const std::string& path, ReplayResult* details)
+{
+    prepareReplay();
+    ReplayDriver driver;
+    return finishReplay(driver.replayFile(path, platform_.fsb()),
+                        "file:" + path, details);
+}
+
+RunResult
+CoSimulation::replayBuffer(
+    std::shared_ptr<const std::vector<std::uint8_t>> stream,
+    const std::string& source, ReplayResult* details)
+{
+    prepareReplay();
+    ReplayDriver driver;
+    return finishReplay(
+        driver.replayBuffer(std::move(stream), platform_.fsb()), source,
+        details);
+}
+
 const Dragonhead&
 CoSimulation::emulator(unsigned i) const
 {

@@ -31,6 +31,7 @@
 #include "core/emulator_bank.hh"
 #include "dragonhead/dragonhead.hh"
 #include "softsdv/virtual_platform.hh"
+#include "trace/fsb_replay.hh"
 
 namespace cosim {
 
@@ -75,6 +76,24 @@ class CoSimulation
      */
     RunResult run(Workload& workload, const WorkloadConfig& cfg);
 
+    /**
+     * Feed a recorded FSB stream through the attached emulators instead
+     * of executing a guest. Emulators are reset at entry and observe
+     * the exact live sequence, so their counters and CB samples are
+     * bit-identical to the run that was captured. The returned result
+     * carries the captured run's totalInsts/verified plus a
+     * `replayedFrom` provenance tag; CPU-side counters stay zero.
+     * fatal() on an unreadable or corrupt stream. @p details (optional)
+     * receives the replay's stream statistics.
+     */
+    RunResult replayFile(const std::string& path,
+                         ReplayResult* details = nullptr);
+
+    /** Replay an in-memory stream (a capture writer's share()). */
+    RunResult replayBuffer(
+        std::shared_ptr<const std::vector<std::uint8_t>> stream,
+        const std::string& source, ReplayResult* details = nullptr);
+
     unsigned nEmulators() const
     {
         return bank_ ? bank_->nEmulators()
@@ -105,6 +124,13 @@ class CoSimulation
     VirtualPlatform& platform() { return platform_; }
 
   private:
+    /** Reset emulators and bus counters before a replay pass. */
+    void prepareReplay();
+    /** Drain workers and assemble a replay-mode RunResult. */
+    RunResult finishReplay(const ReplayResult& rr,
+                           const std::string& source,
+                           ReplayResult* details);
+
     VirtualPlatform platform_;
     /** Serial mode: directly attached emulators. */
     std::vector<std::unique_ptr<Dragonhead>> emulators_;

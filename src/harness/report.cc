@@ -11,6 +11,32 @@
 
 namespace cosim {
 
+const char*
+toString(CellMode mode)
+{
+    switch (mode) {
+      case CellMode::Combined:
+        return "combined";
+      case CellMode::Exec:
+        return "exec";
+      case CellMode::Replay:
+        return "replay";
+    }
+    return "?";
+}
+
+std::string
+fsbStreamPath(const std::string& base, const std::string& workload)
+{
+    const std::string ext = ".fsb";
+    std::string stem = base;
+    if (stem.size() >= ext.size() &&
+        stem.compare(stem.size() - ext.size(), ext.size(), ext) == 0) {
+        stem.resize(stem.size() - ext.size());
+    }
+    return stem + "." + workload + ext;
+}
+
 BenchOptions
 parseBenchArgs(int argc, char** argv, const std::string& bench_description)
 {
@@ -38,7 +64,17 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
                 "  --jobs=<n>       run up to n sweep cells on parallel "
                 "host threads (default 1)\n"
                 "  --emu-threads=<n> emulate Dragonheads on n worker "
-                "threads per rig (default 0 = inline)\n",
+                "threads per rig (default 0 = inline)\n"
+                "  --cells=<mode>   sweep cell decomposition: combined "
+                "(default), exec (guest per config cell),\n"
+                "                   replay (guest once per workload, "
+                "replay per config cell)\n"
+                "  --capture=<base> record each workload's FSB stream "
+                "to <base>.<workload>.fsb\n"
+                "  --replay=<base>  replay recorded streams instead of "
+                "executing the guest\n"
+                "  --digest=<file>  write per-workload FSB stream "
+                "digests (golden-baseline format)\n",
                 bench_description.c_str());
             std::exit(0);
         } else if (startsWith(arg, "--scale=")) {
@@ -75,6 +111,28 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
         } else if (startsWith(arg, "--emu-threads=")) {
             opts.emuThreads = static_cast<unsigned>(
                 std::strtoul(arg.c_str() + 14, nullptr, 10));
+        } else if (startsWith(arg, "--cells=")) {
+            std::string mode = arg.substr(8);
+            if (mode == "combined") {
+                opts.cells = CellMode::Combined;
+            } else if (mode == "exec") {
+                opts.cells = CellMode::Exec;
+            } else if (mode == "replay") {
+                opts.cells = CellMode::Replay;
+            } else {
+                fatal("bad --cells mode '%s' (combined, exec or replay)",
+                      mode.c_str());
+            }
+        } else if (startsWith(arg, "--capture=")) {
+            opts.captureBase = arg.substr(10);
+            fatal_if(opts.captureBase.empty(),
+                     "--capture needs a file path");
+        } else if (startsWith(arg, "--replay=")) {
+            opts.replayBase = arg.substr(9);
+            fatal_if(opts.replayBase.empty(), "--replay needs a file path");
+        } else if (startsWith(arg, "--digest=")) {
+            opts.digestFile = arg.substr(9);
+            fatal_if(opts.digestFile.empty(), "--digest needs a file path");
         } else {
             fatal("unknown option '%s' (try --help)", arg.c_str());
         }
@@ -83,6 +141,12 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
         opts.workloads = workloadNames();
     if (opts.manifestFile.empty())
         opts.manifestFile = opts.outDir + "/run.json";
+    fatal_if(!opts.captureBase.empty() && !opts.replayBase.empty(),
+             "--capture and --replay are mutually exclusive (a replay "
+             "re-broadcasts the stream it reads)");
+    fatal_if(opts.cells == CellMode::Exec && !opts.replayBase.empty(),
+             "--cells=exec executes the guest per cell; it cannot "
+             "consume --replay streams");
     return opts;
 }
 
@@ -109,7 +173,14 @@ printBanner(const std::string& title, const BenchOptions& opts)
                 static_cast<unsigned long long>(opts.seed));
     for (std::size_t i = 0; i < opts.workloads.size(); ++i)
         std::printf("%s%s", i ? "," : "", opts.workloads[i].c_str());
-    std::printf("\n\n");
+    std::printf("\n");
+    if (opts.cells != CellMode::Combined)
+        std::printf("cells=%s\n", toString(opts.cells));
+    if (!opts.captureBase.empty())
+        std::printf("capture=%s.<workload>.fsb\n", opts.captureBase.c_str());
+    if (!opts.replayBase.empty())
+        std::printf("replay=%s.<workload>.fsb\n", opts.replayBase.c_str());
+    std::printf("\n");
 }
 
 } // namespace cosim

@@ -13,6 +13,22 @@
 
 namespace cosim {
 
+/** How a sweep figure is decomposed into cells (see sweep_runner.hh). */
+enum class CellMode : std::uint8_t
+{
+    /** One cell per workload, every configuration passively attached to
+     * the one execution (the paper's rig; the default). */
+    Combined,
+    /** One cell per (workload, configuration), each executing the guest
+     * -- the execute-every-cell baseline replay is measured against. */
+    Exec,
+    /** One guest execution (or recorded stream) per workload, then one
+     * replay cell per configuration. */
+    Replay,
+};
+
+const char* toString(CellMode mode);
+
 /** Options every bench binary accepts. */
 struct BenchOptions
 {
@@ -35,7 +51,27 @@ struct BenchOptions
     unsigned jobs = 1;
     /** Host threads per rig emulating Dragonheads (0 = inline/serial). */
     unsigned emuThreads = 0;
+
+    /** @name FSB capture / replay @{ */
+    /** Sweep cell decomposition. */
+    CellMode cells = CellMode::Combined;
+    /** Record each workload's FSB stream to "<base>.<workload>.fsb". */
+    std::string captureBase;
+    /** Replay recorded streams from "<base>.<workload>.fsb" instead of
+     * executing the guest. */
+    std::string replayBase;
+    /** Write a per-workload stream-digest manifest to this path. */
+    std::string digestFile;
+    /** @} */
 };
+
+/**
+ * Resolve the per-workload stream file for a --capture/--replay base
+ * path: "results/fig4.fsb" + "PLSA" -> "results/fig4.PLSA.fsb" (the
+ * ".fsb" suffix is appended when the base does not end in it).
+ */
+std::string fsbStreamPath(const std::string& base,
+                          const std::string& workload);
 
 /**
  * Parse the common flags:

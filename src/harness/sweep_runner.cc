@@ -13,25 +13,164 @@
 #include "obs/run_manifest.hh"
 #include "obs/stats_registry.hh"
 #include "obs/trace_session.hh"
+#include "trace/fsb_capture.hh"
 #include "workloads/workload_factory.hh"
 
 namespace cosim {
 
 namespace {
 
-/** Everything one (workload) sweep cell produces. */
+/** Everything one sweep cell (or one workload's merged cells) produces. */
 struct CellOutput
 {
     obs::ManifestWorkload mw;
     std::vector<double> series;
     std::vector<SweepPoint> points;
-    RunResult result;
+
+    /** Times the guest executed to produce this output. */
+    std::uint64_t guestExecutions = 0;
+
+    /** Stream fingerprint for the digest manifest (when observed). @{ */
+    bool hasDigest = false;
+    std::uint64_t streamTxns = 0;
+    std::uint64_t streamDigest = 0;
+    /** @} */
+
+    /** Capture/replay bookkeeping for the run manifest. @{ */
+    std::uint64_t captureTxns = 0;
+    std::uint64_t captureBytes = 0;
+    double captureSeconds = 0.0;
+    std::uint64_t replayTxns = 0;
+    std::uint64_t replayBytes = 0;
+    double replaySeconds = 0.0;
+    /** @} */
 };
 
-/** Execute one workload on @p cosim and collect every emulator's data. */
+/** Stream-header provenance for a capture of @p name on @p platform. */
+FsbStreamMeta
+captureMeta(const std::string& name, const PlatformParams& platform,
+            const BenchOptions& opts)
+{
+    FsbStreamMeta meta;
+    meta.workload = name;
+    meta.platform = platform.name;
+    meta.nCores = platform.nCores;
+    meta.seed = opts.seed;
+    meta.scale = opts.scale;
+    return meta;
+}
+
+void
+checkVerified(const RunResult& result, const std::string& name,
+              const PlatformParams& platform, const BenchOptions& opts)
+{
+    if (result.verified)
+        return;
+    if (opts.strictVerify) {
+        fatal("%s failed self-verification on %s", name.c_str(),
+              platform.name.c_str());
+    }
+    warn("%s failed self-verification on %s", name.c_str(),
+         platform.name.c_str());
+}
+
+void
+fillWorkloadResult(CellOutput& cell, const std::string& name,
+                   const RunResult& result)
+{
+    cell.mw.name = name;
+    cell.mw.totalInsts = result.totalInsts;
+    cell.mw.hostSeconds = result.hostSeconds;
+    cell.mw.simMips = result.simMips();
+    cell.mw.verified = result.verified;
+    cell.mw.replayedFrom = result.replayedFrom;
+}
+
+/** Append one emulated configuration's final counters to @p cell. */
+void
+collectEmulator(const Dragonhead& dh, const std::string& wname,
+                unsigned n_cores, CellOutput& cell)
+{
+    LlcResults llc = dh.results();
+
+    SweepPoint point;
+    point.workload = wname;
+    point.nCores = n_cores;
+    point.llcSize = dh.params().llc.size;
+    point.lineSize = dh.params().llc.lineSize;
+    point.llcAccesses = llc.accesses;
+    point.llcMisses = llc.misses;
+    point.insts = llc.insts;
+    cell.series.push_back(point.mpki());
+    cell.points.push_back(point);
+    cell.mw.mpkiPerConfig.push_back(point.mpki());
+}
+
+/** Keep the CB 500 us MPKI series of @p dh (the first configuration). */
+void
+collectSamples(const Dragonhead& dh, CellOutput& cell)
+{
+    for (const Sample& s : dh.samples()) {
+        cell.mw.seriesTimeUs.push_back(s.timeUs);
+        cell.mw.seriesMpki.push_back(s.mpki());
+    }
+}
+
+/**
+ * Freeze @p cosim's component stats into the global registry under
+ * @p prefix, so every cell's counters survive -- not just the final
+ * rig's live view.
+ */
+void
+snapshotCellStats(const CoSimulation& cosim, const std::string& prefix)
+{
+    obs::StatsRegistry local;
+    cosim.registerStats(local);
+    obs::StatsRegistry::global().addSnapshotOf(local, prefix);
+}
+
+/** Record a sealed capture's stream/overhead numbers into @p cell. */
+void
+noteCapture(CellOutput& cell, FsbStreamWriter& writer,
+            double encode_seconds)
+{
+    cell.hasDigest = true;
+    cell.streamTxns = writer.txnCount();
+    cell.streamDigest = writer.digest();
+    cell.captureTxns = writer.txnCount();
+    cell.captureBytes = writer.encodedBytes();
+    cell.captureSeconds = encode_seconds;
+    obs::HostProfiler::global().accumulate("capture.encode",
+                                           encode_seconds);
+}
+
+/** Record a finished replay's stream numbers into @p cell. */
+void
+noteReplay(CellOutput& cell, const ReplayResult& details)
+{
+    cell.replayTxns = details.txns;
+    cell.replayBytes = details.streamBytes;
+    cell.replaySeconds = details.seconds;
+}
+
+void
+warnStreamWorkload(const FsbStreamMeta& meta, const std::string& source,
+                   const std::string& expected)
+{
+    if (meta.workload != expected) {
+        warn("replay stream %s records workload '%s', expected '%s'",
+             source.c_str(), meta.workload.c_str(), expected.c_str());
+    }
+}
+
+/**
+ * The paper's combined cell: execute @p name once on @p cosim with every
+ * configuration of the sweep passively attached, optionally recording or
+ * fingerprinting the bus stream on the side.
+ */
 CellOutput
-runCell(CoSimulation& cosim, const std::string& name,
-        const PlatformParams& platform, const BenchOptions& opts)
+runCombinedCell(CoSimulation& cosim, const std::string& name,
+                const PlatformParams& platform, const BenchOptions& opts)
 {
     TRACE_SPAN("sweep", "workload");
     TRACE_INSTANT("sweep", "workload.start");
@@ -43,48 +182,406 @@ runCell(CoSimulation& cosim, const std::string& name,
     cfg.scale = opts.scale;
     cfg.seed = opts.seed;
 
+    // Stream observers ride the bus alongside the emulators; capture
+    // subsumes the digest (the writer fingerprints what it encodes).
+    FrontSideBus& fsb = cosim.platform().fsb();
+    std::unique_ptr<FsbCaptureSnooper> capture;
+    std::unique_ptr<FsbDigestSnooper> digest;
+    if (!opts.captureBase.empty()) {
+        capture = std::make_unique<FsbCaptureSnooper>(
+            captureMeta(name, platform, opts));
+        fsb.attach(capture.get());
+    } else if (!opts.digestFile.empty()) {
+        digest = std::make_unique<FsbDigestSnooper>();
+        fsb.attach(digest.get());
+    }
+
+    RunResult result = cosim.run(*workload, cfg);
+    if (capture)
+        fsb.detach(capture.get());
+    if (digest)
+        fsb.detach(digest.get());
+    checkVerified(result, name, platform, opts);
+
     CellOutput cell;
-    cell.result = cosim.run(*workload, cfg);
-    if (!cell.result.verified) {
-        if (opts.strictVerify) {
-            fatal("%s failed self-verification on %s", name.c_str(),
-                  platform.name.c_str());
-        }
-        warn("%s failed self-verification on %s", name.c_str(),
-             platform.name.c_str());
+    cell.guestExecutions = 1;
+    fillWorkloadResult(cell, workload->name(), result);
+
+    for (unsigned e = 0; e < cosim.nEmulators(); ++e)
+        collectEmulator(cosim.emulator(e), cell.mw.name, platform.nCores,
+                        cell);
+    if (cosim.nEmulators() > 0)
+        collectSamples(cosim.emulator(0), cell);
+
+    if (capture) {
+        FsbStreamWriter& writer = capture->writer();
+        writer.setResult(result.totalInsts, result.verified);
+        writer.writeFile(fsbStreamPath(opts.captureBase, name));
+        noteCapture(cell, writer, capture->encodeSeconds());
+    } else if (digest) {
+        cell.hasDigest = true;
+        cell.streamTxns = digest->txnCount();
+        cell.streamDigest = digest->digest();
     }
 
-    cell.mw.name = workload->name();
-    cell.mw.totalInsts = cell.result.totalInsts;
-    cell.mw.hostSeconds = cell.result.hostSeconds;
-    cell.mw.simMips = cell.result.simMips();
-    cell.mw.verified = cell.result.verified;
-
-    for (unsigned e = 0; e < cosim.nEmulators(); ++e) {
-        const Dragonhead& dh = cosim.emulator(e);
-        LlcResults llc = dh.results();
-
-        SweepPoint point;
-        point.workload = workload->name();
-        point.nCores = platform.nCores;
-        point.llcSize = dh.params().llc.size;
-        point.lineSize = dh.params().llc.lineSize;
-        point.llcAccesses = llc.accesses;
-        point.llcMisses = llc.misses;
-        point.insts = llc.insts;
-        cell.series.push_back(point.mpki());
-        cell.points.push_back(point);
-        cell.mw.mpkiPerConfig.push_back(point.mpki());
-    }
-    // The CB 500 us series that used to be dropped: keep the first
-    // emulated configuration's full-run MPKI samples.
-    if (cosim.nEmulators() > 0) {
-        for (const Sample& s : cosim.emulator(0).samples()) {
-            cell.mw.seriesTimeUs.push_back(s.timeUs);
-            cell.mw.seriesMpki.push_back(s.mpki());
-        }
-    }
+    snapshotCellStats(cosim, "cell/" + cell.mw.name + "/");
     return cell;
+}
+
+/**
+ * Combined replay cell: feed "<replayBase>.<name>.fsb" through every
+ * attached configuration instead of executing the guest.
+ */
+CellOutput
+replayCombinedCell(CoSimulation& cosim, const std::string& name,
+                   const PlatformParams& platform, const BenchOptions& opts)
+{
+    TRACE_SPAN("sweep", "workload.replay");
+
+    const std::string path = fsbStreamPath(opts.replayBase, name);
+    ReplayResult details;
+    RunResult result = cosim.replayFile(path, &details);
+    warnStreamWorkload(details.meta, path, name);
+    checkVerified(result, name, platform, opts);
+
+    CellOutput cell;
+    fillWorkloadResult(cell, name, result);
+
+    for (unsigned e = 0; e < cosim.nEmulators(); ++e)
+        collectEmulator(cosim.emulator(e), name, platform.nCores, cell);
+    if (cosim.nEmulators() > 0)
+        collectSamples(cosim.emulator(0), cell);
+
+    noteReplay(cell, details);
+    cell.hasDigest = true;
+    cell.streamTxns = details.txns;
+    cell.streamDigest = details.digest;
+
+    snapshotCellStats(cosim, "cell/" + name + "/");
+    return cell;
+}
+
+/**
+ * Exec-mode cell: execute the guest with a *single* emulated
+ * configuration attached -- one cell per (workload, configuration).
+ * Only the first configuration's cell observes the stream (every cell
+ * of a workload broadcasts identical traffic).
+ */
+CellOutput
+runExecCell(const std::string& name, std::size_t config_index,
+            const DragonheadParams& emu, const std::string& tick,
+            const PlatformParams& platform, const BenchOptions& opts)
+{
+    TRACE_SPAN("sweep", "cell.exec");
+
+    CoSimParams params;
+    params.platform = platform;
+    params.emulators = {emu};
+    params.emulationThreads = opts.emuThreads;
+    CoSimulation rig(params);
+
+    auto workload = createWorkload(name, opts.scale);
+    WorkloadConfig cfg;
+    cfg.nThreads = platform.nCores;
+    cfg.scale = opts.scale;
+    cfg.seed = opts.seed;
+
+    FrontSideBus& fsb = rig.platform().fsb();
+    std::unique_ptr<FsbCaptureSnooper> capture;
+    std::unique_ptr<FsbDigestSnooper> digest;
+    if (config_index == 0 && !opts.captureBase.empty()) {
+        capture = std::make_unique<FsbCaptureSnooper>(
+            captureMeta(name, platform, opts));
+        fsb.attach(capture.get());
+    } else if (config_index == 0 && !opts.digestFile.empty()) {
+        digest = std::make_unique<FsbDigestSnooper>();
+        fsb.attach(digest.get());
+    }
+
+    RunResult result = rig.run(*workload, cfg);
+    if (capture)
+        fsb.detach(capture.get());
+    if (digest)
+        fsb.detach(digest.get());
+    checkVerified(result, name, platform, opts);
+
+    CellOutput cell;
+    cell.guestExecutions = 1;
+    fillWorkloadResult(cell, name, result);
+    collectEmulator(rig.emulator(0), name, platform.nCores, cell);
+    if (config_index == 0)
+        collectSamples(rig.emulator(0), cell);
+
+    if (capture) {
+        FsbStreamWriter& writer = capture->writer();
+        writer.setResult(result.totalInsts, result.verified);
+        writer.writeFile(fsbStreamPath(opts.captureBase, name));
+        noteCapture(cell, writer, capture->encodeSeconds());
+    } else if (digest) {
+        cell.hasDigest = true;
+        cell.streamTxns = digest->txnCount();
+        cell.streamDigest = digest->digest();
+    }
+
+    snapshotCellStats(rig, "cell/" + name + "/" + tick + "/");
+    return cell;
+}
+
+/** Where a replay-mode workload's stream comes from. */
+struct WorkloadStream
+{
+    /** In-memory capture (null = file-backed via @ref path). */
+    std::shared_ptr<const std::vector<std::uint8_t>> buffer;
+    std::string path;
+    /** Provenance label for in-memory replays. */
+    std::string source;
+    /** Bookkeeping of the capture execution (guest cost, digest). */
+    CellOutput base;
+};
+
+/**
+ * Replay-mode phase 1: execute @p name once with *no* emulators attached
+ * and record its bus stream in memory (and to --capture files when
+ * requested). With --replay the stream is already on disk and the guest
+ * never runs.
+ */
+WorkloadStream
+captureWorkloadStream(const std::string& name,
+                      const PlatformParams& platform,
+                      const BenchOptions& opts)
+{
+    WorkloadStream ws;
+    if (!opts.replayBase.empty()) {
+        ws.path = fsbStreamPath(opts.replayBase, name);
+        return ws;
+    }
+
+    TRACE_SPAN("sweep", "cell.capture");
+
+    CoSimParams params;
+    params.platform = platform;
+    CoSimulation rig(params);
+
+    auto workload = createWorkload(name, opts.scale);
+    WorkloadConfig cfg;
+    cfg.nThreads = platform.nCores;
+    cfg.scale = opts.scale;
+    cfg.seed = opts.seed;
+
+    FsbCaptureSnooper capture(captureMeta(name, platform, opts));
+    rig.platform().fsb().attach(&capture);
+    RunResult result = rig.run(*workload, cfg);
+    rig.platform().fsb().detach(&capture);
+    checkVerified(result, name, platform, opts);
+
+    FsbStreamWriter& writer = capture.writer();
+    writer.setResult(result.totalInsts, result.verified);
+    writer.finish();
+    if (!opts.captureBase.empty())
+        writer.writeFile(fsbStreamPath(opts.captureBase, name));
+    noteCapture(ws.base, writer, capture.encodeSeconds());
+    ws.buffer = writer.share();
+    ws.source = "memory:" + name;
+
+    ws.base.guestExecutions = 1;
+    fillWorkloadResult(ws.base, name, result);
+
+    snapshotCellStats(rig, "cell/" + name + "/capture/");
+    return ws;
+}
+
+/**
+ * Replay-mode phase 2: feed @p ws through a single-configuration rig --
+ * one replay cell per (workload, configuration), freely parallel.
+ */
+CellOutput
+replayConfigCell(const WorkloadStream& ws, const std::string& name,
+                 std::size_t config_index, const DragonheadParams& emu,
+                 const std::string& tick, const PlatformParams& platform,
+                 const BenchOptions& opts)
+{
+    TRACE_SPAN("sweep", "cell.replay");
+
+    CoSimParams params;
+    params.platform = platform;
+    params.emulators = {emu};
+    params.emulationThreads = opts.emuThreads;
+    CoSimulation rig(params);
+
+    ReplayResult details;
+    RunResult result = ws.buffer
+        ? rig.replayBuffer(ws.buffer, ws.source, &details)
+        : rig.replayFile(ws.path, &details);
+    warnStreamWorkload(details.meta, ws.buffer ? ws.source : ws.path,
+                       name);
+    checkVerified(result, name, platform, opts);
+
+    CellOutput cell;
+    fillWorkloadResult(cell, name, result);
+    collectEmulator(rig.emulator(0), name, platform.nCores, cell);
+    if (config_index == 0)
+        collectSamples(rig.emulator(0), cell);
+
+    noteReplay(cell, details);
+    if (config_index == 0 && !ws.base.hasDigest) {
+        // File-backed replay: the reader's digest is the only
+        // fingerprint this run computes.
+        cell.hasDigest = true;
+        cell.streamTxns = details.txns;
+        cell.streamDigest = details.digest;
+    }
+
+    snapshotCellStats(rig, "cell/" + name + "/" + tick + "/");
+    return cell;
+}
+
+/** Fold one workload's per-configuration cells into a figure row. */
+CellOutput
+mergeWorkloadCells(const std::string& name, const CellOutput* base,
+                   std::vector<CellOutput>& configs)
+{
+    CellOutput merged;
+    merged.mw.name = name;
+
+    const CellOutput& first = base ? *base : configs.front();
+    merged.mw.totalInsts = first.mw.totalInsts;
+    merged.mw.verified = first.mw.verified;
+    merged.mw.replayedFrom = configs.front().mw.replayedFrom;
+    merged.mw.seriesTimeUs = configs.front().mw.seriesTimeUs;
+    merged.mw.seriesMpki = configs.front().mw.seriesMpki;
+
+    double host = 0.0;
+    if (base) {
+        host += base->mw.hostSeconds;
+        merged.guestExecutions += base->guestExecutions;
+        merged.captureTxns += base->captureTxns;
+        merged.captureBytes += base->captureBytes;
+        merged.captureSeconds += base->captureSeconds;
+        if (base->hasDigest) {
+            merged.hasDigest = true;
+            merged.streamTxns = base->streamTxns;
+            merged.streamDigest = base->streamDigest;
+        }
+    }
+    for (CellOutput& c : configs) {
+        host += c.mw.hostSeconds;
+        merged.guestExecutions += c.guestExecutions;
+        merged.captureTxns += c.captureTxns;
+        merged.captureBytes += c.captureBytes;
+        merged.captureSeconds += c.captureSeconds;
+        merged.replayTxns += c.replayTxns;
+        merged.replayBytes += c.replayBytes;
+        merged.replaySeconds += c.replaySeconds;
+        merged.series.insert(merged.series.end(), c.series.begin(),
+                             c.series.end());
+        merged.points.insert(merged.points.end(),
+                             std::make_move_iterator(c.points.begin()),
+                             std::make_move_iterator(c.points.end()));
+        merged.mw.mpkiPerConfig.insert(merged.mw.mpkiPerConfig.end(),
+                                       c.mw.mpkiPerConfig.begin(),
+                                       c.mw.mpkiPerConfig.end());
+        if (!merged.hasDigest && c.hasDigest) {
+            merged.hasDigest = true;
+            merged.streamTxns = c.streamTxns;
+            merged.streamDigest = c.streamDigest;
+        }
+    }
+    merged.mw.hostSeconds = host;
+    merged.mw.simMips = host > 0.0
+        ? static_cast<double>(merged.mw.totalInsts) / 1e6 / host
+        : 0.0;
+    return merged;
+}
+
+/**
+ * Exec and replay decompositions: one cell per (workload,
+ * configuration), scheduled across --jobs host threads. Replay mode
+ * first obtains a stream per workload (phase 1), then replays it
+ * through every configuration (phase 2).
+ */
+std::vector<CellOutput>
+runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
+                  const std::vector<DragonheadParams>& emulators,
+                  const std::vector<std::string>& ticks)
+{
+    const std::size_t n_w = opts.workloads.size();
+    const std::size_t n_c = emulators.size();
+    const bool replay = opts.cells == CellMode::Replay;
+
+    std::vector<WorkloadStream> streams(replay ? n_w : 0);
+    if (replay) {
+        const unsigned jobs = static_cast<unsigned>(
+            std::min<std::size_t>(opts.jobs, std::max<std::size_t>(n_w,
+                                                                   1)));
+        if (jobs > 1 && opts.replayBase.empty()) {
+            ThreadPool pool(jobs);
+            std::vector<std::future<WorkloadStream>> futures;
+            futures.reserve(n_w);
+            for (std::size_t w = 0; w < n_w; ++w) {
+                const std::string& name = opts.workloads[w];
+                futures.push_back(pool.submit([&name, &platform, &opts] {
+                    return captureWorkloadStream(name, platform, opts);
+                }));
+            }
+            for (std::size_t w = 0; w < n_w; ++w)
+                streams[w] = futures[w].get();
+        } else {
+            for (std::size_t w = 0; w < n_w; ++w) {
+                streams[w] = captureWorkloadStream(opts.workloads[w],
+                                                   platform, opts);
+            }
+        }
+    }
+
+    const std::size_t n_flat = n_w * n_c;
+    const unsigned jobs = static_cast<unsigned>(
+        std::min<std::size_t>(opts.jobs, std::max<std::size_t>(n_flat,
+                                                               1)));
+    auto run_one = [&](std::size_t w, std::size_t c) {
+        const std::string& name = opts.workloads[w];
+        return replay
+            ? replayConfigCell(streams[w], name, c, emulators[c],
+                               ticks[c], platform, opts)
+            : runExecCell(name, c, emulators[c], ticks[c], platform,
+                          opts);
+    };
+
+    std::vector<CellOutput> flat(n_flat);
+    if (jobs > 1) {
+        ThreadPool pool(jobs);
+        std::vector<std::future<CellOutput>> futures;
+        futures.reserve(n_flat);
+        for (std::size_t w = 0; w < n_w; ++w) {
+            for (std::size_t c = 0; c < n_c; ++c) {
+                futures.push_back(
+                    pool.submit([&run_one, w, c] { return run_one(w, c); }));
+            }
+        }
+        for (std::size_t i = 0; i < n_flat; ++i)
+            flat[i] = futures[i].get();
+    } else {
+        for (std::size_t w = 0; w < n_w; ++w) {
+            for (std::size_t c = 0; c < n_c; ++c) {
+                debug("sweep cell %s/%s (%zu/%zu)",
+                      opts.workloads[w].c_str(), ticks[c].c_str(),
+                      w * n_c + c + 1, n_flat);
+                flat[w * n_c + c] = run_one(w, c);
+            }
+        }
+    }
+
+    std::vector<CellOutput> cells;
+    cells.reserve(n_w);
+    for (std::size_t w = 0; w < n_w; ++w) {
+        std::vector<CellOutput> configs(
+            std::make_move_iterator(flat.begin() + w * n_c),
+            std::make_move_iterator(flat.begin() + (w + 1) * n_c));
+        const CellOutput* base =
+            replay && opts.replayBase.empty() ? &streams[w].base : nullptr;
+        cells.push_back(mergeWorkloadCells(opts.workloads[w], base,
+                                           configs));
+    }
+    return cells;
 }
 
 } // namespace
@@ -102,28 +599,7 @@ SweepRunner::runFigure(const std::string& figure_id,
     if (own_trace)
         trace.start();
 
-    CoSimParams params;
-    params.platform = platform;
-    params.emulators = emulators;
-    params.emulationThreads = opts_.emuThreads;
-
     const std::size_t n_cells = opts_.workloads.size();
-    const unsigned jobs = static_cast<unsigned>(
-        std::min<std::size_t>(opts_.jobs, std::max<std::size_t>(n_cells,
-                                                                1)));
-
-    // One rig per cell when cells run in parallel; a single reused rig
-    // (the original behaviour) when serial. Workload executions never
-    // share simulator state either way -- the platform resets per run --
-    // so the two modes produce identical results.
-    std::vector<std::unique_ptr<CoSimulation>> rigs;
-    rigs.reserve(jobs > 1 ? n_cells : 1);
-    if (jobs > 1) {
-        for (std::size_t i = 0; i < n_cells; ++i)
-            rigs.push_back(std::make_unique<CoSimulation>(params));
-    } else {
-        rigs.push_back(std::make_unique<CoSimulation>(params));
-    }
 
     obs::RunManifest manifest;
     manifest.figureId = figure_id;
@@ -132,33 +608,76 @@ SweepRunner::runFigure(const std::string& figure_id,
     manifest.scale = opts_.scale;
     manifest.seed = opts_.seed;
     manifest.configTicks = ticks;
-    manifest.hostJobs = jobs;
-    manifest.emulationThreads = rigs.back()->emulationThreads();
+    manifest.cellMode = toString(opts_.cells);
+
+    // Combined mode keeps its rigs alive to the end of the figure so
+    // the unprefixed final-rig stats view stays valid.
+    std::vector<std::unique_ptr<CoSimulation>> rigs;
 
     auto wall0 = std::chrono::steady_clock::now();
-    std::vector<CellOutput> cells(n_cells);
-    if (jobs > 1) {
-        // Only the aggregation below touches shared state; each cell
-        // owns its rig and its workload.
-        ThreadPool pool(jobs);
-        std::vector<std::future<CellOutput>> futures;
-        futures.reserve(n_cells);
-        for (std::size_t i = 0; i < n_cells; ++i) {
-            CoSimulation* rig = rigs[i].get();
-            const std::string& name = opts_.workloads[i];
-            futures.push_back(pool.submit([this, rig, &name, &platform] {
-                return runCell(*rig, name, platform, opts_);
-            }));
+    std::vector<CellOutput> cells;
+    if (opts_.cells == CellMode::Combined) {
+        CoSimParams params;
+        params.platform = platform;
+        params.emulators = emulators;
+        params.emulationThreads = opts_.emuThreads;
+
+        const unsigned jobs = static_cast<unsigned>(
+            std::min<std::size_t>(opts_.jobs,
+                                  std::max<std::size_t>(n_cells, 1)));
+
+        // One rig per cell when cells run in parallel; a single reused
+        // rig (the original behaviour) when serial. Workload executions
+        // never share simulator state either way -- the platform resets
+        // per run -- so the two modes produce identical results.
+        rigs.reserve(jobs > 1 ? n_cells : 1);
+        if (jobs > 1) {
+            for (std::size_t i = 0; i < n_cells; ++i)
+                rigs.push_back(std::make_unique<CoSimulation>(params));
+        } else {
+            rigs.push_back(std::make_unique<CoSimulation>(params));
         }
-        for (std::size_t i = 0; i < n_cells; ++i)
-            cells[i] = futures[i].get();
+        manifest.hostJobs = jobs;
+        manifest.emulationThreads = rigs.back()->emulationThreads();
+
+        const bool replay = !opts_.replayBase.empty();
+        cells.resize(n_cells);
+        if (jobs > 1) {
+            // Only the aggregation below touches shared state; each cell
+            // owns its rig and its workload.
+            ThreadPool pool(jobs);
+            std::vector<std::future<CellOutput>> futures;
+            futures.reserve(n_cells);
+            for (std::size_t i = 0; i < n_cells; ++i) {
+                CoSimulation* rig = rigs[i].get();
+                const std::string& name = opts_.workloads[i];
+                futures.push_back(
+                    pool.submit([this, rig, &name, &platform, replay] {
+                        return replay
+                            ? replayCombinedCell(*rig, name, platform,
+                                                 opts_)
+                            : runCombinedCell(*rig, name, platform,
+                                              opts_);
+                    }));
+            }
+            for (std::size_t i = 0; i < n_cells; ++i)
+                cells[i] = futures[i].get();
+        } else {
+            for (std::size_t i = 0; i < n_cells; ++i) {
+                debug("sweep %s: starting %s (%zu/%zu)",
+                      figure_id.c_str(), opts_.workloads[i].c_str(),
+                      i + 1, n_cells);
+                cells[i] = replay
+                    ? replayCombinedCell(*rigs[0], opts_.workloads[i],
+                                         platform, opts_)
+                    : runCombinedCell(*rigs[0], opts_.workloads[i],
+                                      platform, opts_);
+            }
+        }
     } else {
-        for (std::size_t i = 0; i < n_cells; ++i) {
-            debug("sweep %s: starting %s (%zu/%zu)", figure_id.c_str(),
-                  opts_.workloads[i].c_str(), i + 1, n_cells);
-            cells[i] = runCell(*rigs[0], opts_.workloads[i], platform,
-                               opts_);
-        }
+        manifest.hostJobs = opts_.jobs;
+        manifest.emulationThreads = opts_.emuThreads;
+        cells = runPerConfigCells(opts_, platform, emulators, ticks);
     }
     manifest.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -166,34 +685,78 @@ SweepRunner::runFigure(const std::string& figure_id,
             .count();
 
     // Aggregate in workload order regardless of completion order, so the
-    // figure and manifest are deterministic.
+    // figure, manifest and digest outputs are deterministic.
     double host_sum = 0.0;
+    DigestManifest digests;
     for (std::size_t i = 0; i < n_cells; ++i) {
         CellOutput& cell = cells[i];
-        host_sum += cell.result.hostSeconds;
+        host_sum += cell.mw.hostSeconds;
+        manifest.guestExecutions += cell.guestExecutions;
+        manifest.captureTxns += cell.captureTxns;
+        manifest.captureBytes += cell.captureBytes;
+        manifest.captureSeconds += cell.captureSeconds;
+        manifest.replayTxns += cell.replayTxns;
+        manifest.replayBytes += cell.replayBytes;
+        manifest.replaySeconds += cell.replaySeconds;
+        if (cell.hasDigest)
+            digests.add(cell.mw.name, cell.streamTxns, cell.streamDigest);
         manifest.workloads.push_back(cell.mw);
         figure.addSeries(cell.mw.name, cell.series,
                          std::move(cell.points));
         std::printf("  %-9s %8.1fM inst  %6.2fs host  %5.1f MIPS  "
-                    "verified=%s  [%zu/%zu]\n", cell.mw.name.c_str(),
-                    static_cast<double>(cell.result.totalInsts) / 1e6,
-                    cell.result.hostSeconds, cell.result.simMips(),
-                    cell.result.verified ? "yes" : "NO", i + 1, n_cells);
+                    "verified=%s%s  [%zu/%zu]\n", cell.mw.name.c_str(),
+                    static_cast<double>(cell.mw.totalInsts) / 1e6,
+                    cell.mw.hostSeconds, cell.mw.simMips,
+                    cell.mw.verified ? "yes" : "NO",
+                    cell.mw.replayedFrom.empty() ? "" : "  replayed",
+                    i + 1, n_cells);
     }
     manifest.hostSpeedup = manifest.wallSeconds > 0.0
         ? host_sum / manifest.wallSeconds
         : 0.0;
 
     // Publish the rig's component stats and the host profile through the
-    // uniform registry dumpers. With parallel cells, the last rig's
+    // uniform registry dumpers. In combined mode the last rig's live
     // counters are registered -- the same "state after the final
-    // workload" view the reused serial rig exposes.
+    // workload" view the reused serial rig exposes; per-config modes
+    // rely on the frozen cell/<workload>/<config>/ snapshots instead.
     obs::StatsRegistry& registry = obs::StatsRegistry::global();
-    rigs.back()->registerStats(registry);
+    if (!rigs.empty())
+        rigs.back()->registerStats(registry);
     registry.add(obs::HostProfiler::global().statsGroup());
+
+    if (manifest.captureTxns > 0) {
+        stats::Group g("capture");
+        const double txns = static_cast<double>(manifest.captureTxns);
+        const double bytes = static_cast<double>(manifest.captureBytes);
+        const double secs = manifest.captureSeconds;
+        g.add("txns", [txns] { return txns; });
+        g.add("bytes", [bytes] { return bytes; });
+        g.add("encode_seconds", [secs] { return secs; });
+        registry.add(std::move(g));
+    }
+    if (manifest.replayTxns > 0) {
+        stats::Group g("replay");
+        const double txns = static_cast<double>(manifest.replayTxns);
+        const double bytes = static_cast<double>(manifest.replayBytes);
+        const double secs = manifest.replaySeconds;
+        g.add("txns", [txns] { return txns; });
+        g.add("bytes", [bytes] { return bytes; });
+        g.add("seconds", [secs] { return secs; });
+        registry.add(std::move(g));
+    }
+
     if (!opts_.statsFile.empty()) {
         registry.writeFile(opts_.statsFile);
         inform("stats: %s", opts_.statsFile.c_str());
+    }
+
+    if (!opts_.digestFile.empty()) {
+        fatal_if(digests.entries.empty(),
+                 "--digest=%s: no stream digests were computed",
+                 opts_.digestFile.c_str());
+        digests.writeFile(opts_.digestFile);
+        inform("digests: %s", opts_.digestFile.c_str());
     }
 
     const obs::HostProfiler& prof = obs::HostProfiler::global();

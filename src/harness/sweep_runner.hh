@@ -1,8 +1,28 @@
 /**
  * @file
- * Runs the paper's sweep experiments: one workload execution per
- * (workload, CMP scale), with every cache configuration of the sweep
- * emulated simultaneously by passive Dragonhead instances.
+ * Runs the paper's sweep experiments. Three cell decompositions
+ * (BenchOptions::cells):
+ *
+ *  - *combined* (default): one workload execution per (workload, CMP
+ *    scale), every cache configuration of the sweep emulated
+ *    simultaneously by passive Dragonhead instances -- the paper's rig.
+ *  - *exec*: one guest execution per (workload, configuration) cell.
+ *    This is the execute-every-cell baseline that capture/replay is
+ *    measured against; it exists because it parallelizes trivially
+ *    under --jobs but pays the guest W x C times.
+ *  - *replay*: the guest executes once per workload (captured to an
+ *    in-memory FSB stream, or not at all with --replay=<base>), and
+ *    every configuration cell replays the recorded stream -- same
+ *    results as exec, guest cost paid once.
+ *
+ * Orthogonally, --capture records each workload's bus stream to disk,
+ * --replay feeds recorded streams back instead of executing the guest,
+ * and --digest writes the per-workload stream fingerprints that CI
+ * gates against tests/golden/.
+ *
+ * Every cell also snapshots its rig's statistics into the global
+ * registry under "cell/<workload>/[<config>/]", so parallel cells'
+ * stats coexist instead of only the final rig's surviving.
  */
 
 #ifndef COSIM_HARNESS_SWEEP_RUNNER_HH

@@ -78,6 +78,20 @@ RunManifest::toJson() const
     }
     out += hostPhases.empty() ? "]},\n" : "\n  ]},\n";
 
+    out += "  \"stream\": {\"cells\": " + json::quote(cellMode) +
+           ", \"guest_executions\": " +
+           json::number(static_cast<double>(guestExecutions)) +
+           ",\n    \"capture\": {\"txns\": " +
+           json::number(static_cast<double>(captureTxns)) +
+           ", \"bytes\": " +
+           json::number(static_cast<double>(captureBytes)) +
+           ", \"seconds\": " + json::number(captureSeconds) +
+           "},\n    \"replay\": {\"txns\": " +
+           json::number(static_cast<double>(replayTxns)) +
+           ", \"bytes\": " +
+           json::number(static_cast<double>(replayBytes)) +
+           ", \"seconds\": " + json::number(replaySeconds) + "}},\n";
+
     out += "  \"workloads\": [";
     for (std::size_t i = 0; i < workloads.size(); ++i) {
         const ManifestWorkload& w = workloads[i];
@@ -89,6 +103,7 @@ RunManifest::toJson() const
                ", \"host_seconds\": " + json::number(w.hostSeconds) +
                ", \"sim_mips\": " + json::number(w.simMips) +
                ", \"verified\": " + (w.verified ? "true" : "false") +
+               ",\n     \"replayed_from\": " + json::quote(w.replayedFrom) +
                ",\n     \"mpki_per_config\": " +
                numberArray(w.mpkiPerConfig) +
                ",\n     \"mpki_series\": {\"time_us\": " +

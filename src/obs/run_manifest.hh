@@ -35,6 +35,10 @@ struct ManifestWorkload
     double simMips = 0.0;
     bool verified = false;
 
+    /** Stream provenance: empty for a live execution, otherwise the
+     * source the cell's emulator results were replayed from. */
+    std::string replayedFrom;
+
     /** Final MPKI of every emulated configuration, in sweep order. */
     std::vector<double> mpkiPerConfig;
 
@@ -77,6 +81,23 @@ struct RunManifest
     double wallSeconds = 0.0;
     /** Sum of per-workload host seconds over wallSeconds (>= ~1). */
     double hostSpeedup = 0.0;
+    /** @} */
+
+    /** @name FSB capture / replay record @{ */
+    /** Sweep cell decomposition ("combined" / "exec" / "replay"). */
+    std::string cellMode = "combined";
+    /** Times the guest actually executed during the sweep (a pure
+     * file-backed replay reports 0). */
+    std::uint64_t guestExecutions = 0;
+    /** Transactions and encoded bytes recorded by --capture. */
+    std::uint64_t captureTxns = 0;
+    std::uint64_t captureBytes = 0;
+    /** Host wall-clock spent encoding captures (overhead gauge). */
+    double captureSeconds = 0.0;
+    /** Transactions and stream bytes fed back by replay cells. */
+    std::uint64_t replayTxns = 0;
+    std::uint64_t replayBytes = 0;
+    double replaySeconds = 0.0;
     /** @} */
 
     /** Serialize (pretty-printed JSON, schema + buildRevision included). */

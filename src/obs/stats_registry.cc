@@ -37,6 +37,27 @@ StatsRegistry::makeGroup(const std::string& name)
 }
 
 void
+StatsRegistry::addSnapshotOf(const StatsRegistry& src,
+                             const std::string& prefix)
+{
+    // Collect outside our own lock: evaluating src's formulas may take
+    // arbitrary time, and src may be *this in odd call patterns.
+    std::vector<stats::Group> frozen;
+    {
+        std::lock_guard<std::mutex> lock(src.mutex_);
+        frozen.reserve(src.groups_.size());
+        for (const stats::Group& g : src.groups_) {
+            stats::Group copy(prefix + g.name());
+            for (const auto& [stat_name, value] : g.collect())
+                copy.add(stat_name, [value] { return value; });
+            frozen.push_back(std::move(copy));
+        }
+    }
+    for (stats::Group& g : frozen)
+        add(std::move(g));
+}
+
+void
 StatsRegistry::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -52,6 +52,16 @@ class StatsRegistry
     /** Convenience: create an empty group named @p name and return it. */
     stats::Group& makeGroup(const std::string& name);
 
+    /**
+     * Copy every group of @p src into this registry under
+     * "<prefix><group>", with every stat frozen to its current value.
+     * This is how parallel sweep cells coexist: each cell registers its
+     * rig into a private registry, then snapshots it into the global
+     * one under "cell/<workload>/<config>/" -- the frozen values stay
+     * correct after the cell's components are reset or destroyed.
+     */
+    void addSnapshotOf(const StatsRegistry& src, const std::string& prefix);
+
     /** Drop every registered group. */
     void clear();
 

@@ -69,6 +69,15 @@ struct RunResult
 
     bool verified = false;
 
+    /**
+     * Provenance: empty for a live guest execution; the stream source
+     * ("file:<path>" or "memory:<workload>") when the emulator results
+     * come from replaying a recorded FSB stream. Replayed results carry
+     * the captured run's totalInsts/verified, but no CPU-side counters
+     * (l1/l2/cycles stay zero -- the guest did not execute).
+     */
+    std::string replayedFrom;
+
     /** Host-side execution time and derived simulation speed. */
     double hostSeconds = 0.0;
     double simMips() const;

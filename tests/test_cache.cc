@@ -218,8 +218,9 @@ TEST(CacheProperty, FullyAssociativeLruInclusion)
         auto s = small_c.access(a, false);
         auto b = big_c.access(a, false);
         // Inclusion: whatever hits in the small cache hits in the big.
-        if (s.hit)
+        if (s.hit) {
             EXPECT_TRUE(b.hit);
+        }
     }
     EXPECT_LE(big_c.stats().misses, small_c.stats().misses);
 }

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * FSB replay determinism suite.
+ *
+ * The tentpole property: replaying a captured stream through any
+ * emulator configuration is *bit-identical* to live snooping -- every
+ * CacheController counter, per-core counter and ControlBlock 500 us
+ * sample window -- in serial and in worker-thread emulation mode.
+ * On top of that: replay provenance in RunResult, sweep cell-mode
+ * equivalence (combined / exec / replay decompositions produce the same
+ * figures), per-cell stats namespacing, and clean failure on corrupt
+ * streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/units.hh"
+#include "core/cosim.hh"
+#include "core/experiment.hh"
+#include "core/results.hh"
+#include "harness/sweep_runner.hh"
+#include "obs/stats_registry.hh"
+#include "trace/fsb_capture.hh"
+#include "trace/fsb_replay.hh"
+#include "test_util.hh"
+
+namespace cosim {
+namespace {
+
+PlatformParams
+smallCmp(unsigned cores)
+{
+    PlatformParams p;
+    p.name = "testCMP";
+    p.nCores = cores;
+    p.cpu.baseCpi = 1.0;
+    p.cpu.caches.l1 = {"l1", 1 * KiB, 64, 2, ReplPolicy::LRU};
+    p.cpu.caches.hasL2 = false;
+    p.cpu.useDramLatency = false;
+    p.cpu.beyondLatency = 50;
+    p.cpu.emitFsbTraffic = true;
+    p.dex.quantumInsts = 2000;
+    return p;
+}
+
+DragonheadParams
+llc(std::uint64_t size)
+{
+    DragonheadParams dh;
+    dh.llc = {"llc", size, 64, 4, ReplPolicy::LRU};
+    dh.nSlices = 4;
+    dh.maxCores = 8;
+    return dh;
+}
+
+std::vector<DragonheadParams>
+sweepConfigs()
+{
+    return {llc(8 * KiB), llc(64 * KiB), llc(256 * KiB)};
+}
+
+/** Emulator-side state, bit-exact (mirrors test_parallel.cc). */
+struct Fingerprint
+{
+    std::vector<std::uint64_t> counters;
+    std::vector<double> samples;
+
+    bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint
+fingerprintOf(const CoSimulation& cosim, unsigned n_cores)
+{
+    Fingerprint fp;
+    for (unsigned e = 0; e < cosim.nEmulators(); ++e) {
+        const Dragonhead& dh = cosim.emulator(e);
+        LlcResults r = dh.results();
+        fp.counters.push_back(r.accesses);
+        fp.counters.push_back(r.misses);
+        fp.counters.push_back(r.insts);
+        fp.counters.push_back(r.cycles);
+        for (unsigned c = 0; c < n_cores; ++c) {
+            CoreCounters cc = dh.coreResults(static_cast<CoreId>(c));
+            fp.counters.push_back(cc.accesses);
+            fp.counters.push_back(cc.misses);
+        }
+        for (const Sample& s : dh.samples()) {
+            fp.samples.push_back(s.timeUs);
+            fp.samples.push_back(static_cast<double>(s.insts));
+            fp.samples.push_back(static_cast<double>(s.accesses));
+            fp.samples.push_back(static_cast<double>(s.misses));
+            fp.samples.push_back(s.mpki());
+        }
+    }
+    return fp;
+}
+
+/** A live run with the capture snooper attached. */
+struct LiveCapture
+{
+    Fingerprint fingerprint;
+    RunResult result;
+    std::shared_ptr<const std::vector<std::uint8_t>> stream;
+    std::uint64_t digest = 0;
+    std::uint64_t txns = 0;
+};
+
+LiveCapture
+runLiveWithCapture(unsigned emu_threads)
+{
+    const unsigned cores = 4;
+    CoSimParams params;
+    params.platform = smallCmp(cores);
+    params.emulators = sweepConfigs();
+    params.emulationThreads = emu_threads;
+    CoSimulation cosim(params);
+
+    FsbStreamMeta meta;
+    meta.workload = "loop";
+    meta.platform = params.platform.name;
+    meta.nCores = cores;
+    FsbCaptureSnooper capture(meta, 256);
+    cosim.platform().fsb().attach(&capture);
+
+    test::LoopWorkload wl(16 * KiB, 4, true);
+    WorkloadConfig cfg;
+    cfg.nThreads = cores;
+
+    LiveCapture live;
+    live.result = cosim.run(wl, cfg);
+    cosim.platform().fsb().detach(&capture);
+    EXPECT_TRUE(live.result.verified);
+    EXPECT_TRUE(live.result.replayedFrom.empty());
+
+    capture.writer().setResult(live.result.totalInsts,
+                               live.result.verified);
+    live.digest = capture.writer().digest();
+    live.txns = capture.writer().txnCount();
+    live.stream = capture.writer().share();
+    live.fingerprint = fingerprintOf(cosim, cores);
+    return live;
+}
+
+/** Replay @p live through a fresh rig and fingerprint the emulators. */
+Fingerprint
+replayOnce(const LiveCapture& live, unsigned emu_threads,
+           RunResult* out_result = nullptr)
+{
+    const unsigned cores = 4;
+    CoSimParams params;
+    params.platform = smallCmp(cores);
+    params.emulators = sweepConfigs();
+    params.emulationThreads = emu_threads;
+    CoSimulation cosim(params);
+
+    ReplayResult details;
+    RunResult result = cosim.replayBuffer(live.stream, "memory:loop",
+                                          &details);
+    EXPECT_EQ(details.txns, live.txns);
+    EXPECT_EQ(details.digest, live.digest);
+    if (out_result)
+        *out_result = result;
+    return fingerprintOf(cosim, cores);
+}
+
+TEST(FsbReplay, BitIdenticalToLiveSnooping)
+{
+    LiveCapture live = runLiveWithCapture(0);
+    ASSERT_FALSE(live.fingerprint.counters.empty());
+    ASSERT_FALSE(live.fingerprint.samples.empty());
+    ASSERT_GT(live.txns, 0u);
+
+    EXPECT_EQ(replayOnce(live, 0), live.fingerprint);
+}
+
+TEST(FsbReplay, BitIdenticalUnderWorkerThreadEmulation)
+{
+    LiveCapture live = runLiveWithCapture(0);
+    for (unsigned threads : {1u, 2u, 4u}) {
+        EXPECT_EQ(replayOnce(live, threads), live.fingerprint)
+            << "emu threads = " << threads;
+    }
+}
+
+TEST(FsbReplay, CaptureUnderParallelEmulationMatchesSerialCapture)
+{
+    // The capture snooper rides the batched bus in parallel mode; the
+    // encoded stream must still be the exact issue-order sequence.
+    LiveCapture serial = runLiveWithCapture(0);
+    LiveCapture parallel = runLiveWithCapture(2);
+    EXPECT_EQ(parallel.digest, serial.digest);
+    EXPECT_EQ(parallel.txns, serial.txns);
+    EXPECT_EQ(parallel.fingerprint, serial.fingerprint);
+}
+
+TEST(FsbReplay, ResultCarriesProvenanceAndCapturedOutcome)
+{
+    LiveCapture live = runLiveWithCapture(0);
+    RunResult replayed;
+    replayOnce(live, 0, &replayed);
+
+    EXPECT_EQ(replayed.replayedFrom, "memory:loop");
+    EXPECT_EQ(replayed.workload, "loop");
+    EXPECT_EQ(replayed.totalInsts, live.result.totalInsts);
+    EXPECT_EQ(replayed.verified, live.result.verified);
+    EXPECT_EQ(replayed.nThreads, 4u);
+    // The guest did not execute: CPU-side counters stay zero.
+    EXPECT_EQ(replayed.totalCycles, 0u);
+    EXPECT_EQ(replayed.l1.accesses, 0u);
+}
+
+TEST(FsbReplay, FileRoundTripIsIdenticalToBufferReplay)
+{
+    LiveCapture live = runLiveWithCapture(0);
+    std::string path = testing::TempDir() + "replay_roundtrip.fsb";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char*>(live.stream->data()),
+                  static_cast<std::streamsize>(live.stream->size()));
+    }
+
+    const unsigned cores = 4;
+    CoSimParams params;
+    params.platform = smallCmp(cores);
+    params.emulators = sweepConfigs();
+    CoSimulation cosim(params);
+    ReplayResult details;
+    RunResult result = cosim.replayFile(path, &details);
+    EXPECT_EQ(result.replayedFrom, "file:" + path);
+    EXPECT_EQ(details.digest, live.digest);
+    EXPECT_EQ(fingerprintOf(cosim, cores), live.fingerprint);
+    std::remove(path.c_str());
+}
+
+TEST(FsbReplay, RigIsReusableAfterReplay)
+{
+    // replay -> live -> replay on one rig: each pass resets emulators,
+    // so results must be independent of what ran before.
+    LiveCapture live = runLiveWithCapture(0);
+
+    const unsigned cores = 4;
+    CoSimParams params;
+    params.platform = smallCmp(cores);
+    params.emulators = sweepConfigs();
+    CoSimulation cosim(params);
+
+    cosim.replayBuffer(live.stream, "memory:loop");
+    Fingerprint first = fingerprintOf(cosim, cores);
+
+    test::LoopWorkload wl(16 * KiB, 4, true);
+    WorkloadConfig cfg;
+    cfg.nThreads = cores;
+    cosim.run(wl, cfg);
+    EXPECT_EQ(fingerprintOf(cosim, cores), live.fingerprint);
+
+    cosim.replayBuffer(live.stream, "memory:loop");
+    EXPECT_EQ(fingerprintOf(cosim, cores), first);
+    EXPECT_EQ(first, live.fingerprint);
+}
+
+TEST(FsbReplay, CorruptStreamReportsErrorThroughDriver)
+{
+    LiveCapture live = runLiveWithCapture(0);
+    auto corrupt = std::make_shared<std::vector<std::uint8_t>>(
+        live.stream->begin(), live.stream->end());
+    (*corrupt)[corrupt->size() - 1] ^= 0xff; // trailer digest byte
+
+    FrontSideBus bus;
+    ReplayDriver driver;
+    ReplayResult rr = driver.replayBuffer(corrupt, bus);
+    EXPECT_FALSE(rr.ok);
+    EXPECT_NE(rr.error.find("digest mismatch"), std::string::npos)
+        << rr.error;
+}
+
+TEST(FsbReplayDeathTest, CoSimulationRefusesCorruptStream)
+{
+    CoSimParams params;
+    params.platform = smallCmp(2);
+    params.emulators = {llc(8 * KiB)};
+    CoSimulation cosim(params);
+    EXPECT_DEATH(cosim.replayFile("/nonexistent/stream.fsb"),
+                 "cannot replay FSB stream");
+}
+
+// --- sweep cell modes ----------------------------------------------------
+
+FigureData
+runSweep(CellMode cells, unsigned jobs, unsigned emu_threads,
+         const std::string& capture_base = "",
+         const std::string& replay_base = "",
+         const std::string& digest_file = "")
+{
+    BenchOptions opts;
+    opts.scale = 0.02;
+    opts.workloads = {"PLSA"};
+    opts.cells = cells;
+    opts.jobs = jobs;
+    opts.emuThreads = emu_threads;
+    opts.captureBase = capture_base;
+    opts.replayBase = replay_base;
+    opts.digestFile = digest_file;
+
+    PlatformParams platform = presets::cmpPlatform("tiny", 2);
+    return SweepRunner(opts).runLineSizeFigure("FigReplayTest", platform);
+}
+
+void
+expectSameFigure(const FigureData& a, const FigureData& b)
+{
+    ASSERT_EQ(a.seriesNames(), b.seriesNames());
+    for (const std::string& name : a.seriesNames()) {
+        EXPECT_EQ(a.series(name), b.series(name)) << name;
+        const auto& ap = a.points(name);
+        const auto& bp = b.points(name);
+        ASSERT_EQ(ap.size(), bp.size());
+        for (std::size_t i = 0; i < ap.size(); ++i) {
+            EXPECT_EQ(ap[i].llcAccesses, bp[i].llcAccesses) << i;
+            EXPECT_EQ(ap[i].llcMisses, bp[i].llcMisses) << i;
+            EXPECT_EQ(ap[i].insts, bp[i].insts) << i;
+        }
+    }
+}
+
+TEST(SweepCellModes, ExecAndReplayMatchCombined)
+{
+    FigureData combined = runSweep(CellMode::Combined, 1, 0);
+    FigureData exec = runSweep(CellMode::Exec, 1, 0);
+    FigureData replay = runSweep(CellMode::Replay, 1, 0);
+    expectSameFigure(combined, exec);
+    expectSameFigure(combined, replay);
+}
+
+TEST(SweepCellModes, ReplayCellsMatchUnderJobsAndEmuThreads)
+{
+    FigureData serial = runSweep(CellMode::Combined, 1, 0);
+    FigureData parallel = runSweep(CellMode::Replay, 4, 2);
+    expectSameFigure(serial, parallel);
+}
+
+TEST(SweepCellModes, CaptureThenFileReplayMatchesLive)
+{
+    std::string base = testing::TempDir() + "sweep_replay_test";
+    std::string digest_live = testing::TempDir() + "sweep_live.digest";
+    std::string digest_replay = testing::TempDir() + "sweep_replay.digest";
+
+    FigureData live =
+        runSweep(CellMode::Combined, 1, 0, base, "", digest_live);
+    FigureData replayed =
+        runSweep(CellMode::Combined, 1, 0, "", base, digest_replay);
+    expectSameFigure(live, replayed);
+
+    // The stream digest is invariant across capture and replay.
+    DigestManifest a, b;
+    std::string error;
+    ASSERT_TRUE(DigestManifest::load(digest_live, a, &error)) << error;
+    ASSERT_TRUE(DigestManifest::load(digest_replay, b, &error)) << error;
+    std::string report;
+    EXPECT_TRUE(DigestManifest::compare(a, b, report)) << report;
+    ASSERT_EQ(a.entries.size(), 1u);
+    EXPECT_EQ(a.entries[0].workload, "PLSA");
+    EXPECT_GT(a.entries[0].txns, 0u);
+
+    std::remove((base + ".PLSA.fsb").c_str());
+    std::remove(digest_live.c_str());
+    std::remove(digest_replay.c_str());
+}
+
+TEST(SweepCellModes, PerCellStatsAreNamespaced)
+{
+    obs::StatsRegistry& registry = obs::StatsRegistry::global();
+    registry.clear();
+    runSweep(CellMode::Combined, 1, 0);
+    EXPECT_NE(registry.find("cell/PLSA/fsb"), nullptr);
+    EXPECT_NE(registry.find("cell/PLSA/dragonhead0"), nullptr);
+
+    registry.clear();
+    runSweep(CellMode::Replay, 2, 0);
+    // Replay mode: a capture namespace plus one per configuration tick.
+    EXPECT_NE(registry.find("cell/PLSA/capture/fsb"), nullptr);
+    EXPECT_NE(registry.find("cell/PLSA/64B/dragonhead0"), nullptr);
+    EXPECT_NE(registry.find("cell/PLSA/4KB/dragonhead0"), nullptr);
+    // The aggregate replay counters are published too.
+    ASSERT_NE(registry.find("replay"), nullptr);
+    registry.clear();
+}
+
+} // namespace
+} // namespace cosim

@@ -119,8 +119,9 @@ TEST(Transactions, SortedDedupedAndSkewed)
     for (std::size_t t = 0; t + 1 < offsets.size(); ++t) {
         EXPECT_LE(offsets[t + 1] - offsets[t], p.maxLength);
         for (std::uint32_t k = offsets[t]; k < offsets[t + 1]; ++k) {
-            if (k > offsets[t])
+            if (k > offsets[t]) {
                 EXPECT_LT(items[k - 1], items[k]); // sorted, deduped
+            }
             ASSERT_LT(items[k], p.nItems);
             ++freq[items[k]];
         }

@@ -182,8 +182,9 @@ TEST(RsearchWorkload, FindsPlantedHairpins)
 
     // Every even (hairpin-centred) window must be a hit.
     for (std::size_t w = 0; w < wl.totalWindows(); w += 2) {
-        if (wl.windowScore(w) >= 0.0)
+        if (wl.windowScore(w) >= 0.0) {
             EXPECT_GE(wl.windowScore(w), p.scoreThreshold) << w;
+        }
     }
 }
 
