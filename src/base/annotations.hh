@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Clang thread-safety analysis annotations.
+ *
+ * Wraps the capability attributes of Clang's `-Wthread-safety` pass
+ * (Hutchins et al., "C/C++ Thread Safety Analysis") so that locking
+ * discipline is checked at *compile time*: a field declared
+ * `GUARDED_BY(mutex_)` can only be touched while `mutex_` is held, a
+ * function declared `REQUIRES(mutex_)` can only be called with the lock
+ * already taken, and deleting a `LockGuard` around a guarded access is a
+ * build error in the Clang CI lane instead of a latent race.
+ *
+ * The macros expand to nothing on compilers without the attributes
+ * (gcc, MSVC), so annotated code stays portable. They pair with the
+ * annotated `Mutex` / `LockGuard` / `CondVar` wrappers in
+ * base/mutex.hh; see DESIGN.md "Static analysis" for the conventions.
+ *
+ * Every macro is guarded with #ifndef so that a third-party header
+ * defining the same conventional names (Abseil, google-benchmark
+ * internals) does not clash.
+ */
+
+#ifndef COSIM_BASE_ANNOTATIONS_HH
+#define COSIM_BASE_ANNOTATIONS_HH
+
+#if defined(__clang__)
+#define COSIM_TSA_ATTR(x) __attribute__((x))
+#else
+#define COSIM_TSA_ATTR(x) // no-op outside Clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex", "role", ...). */
+#ifndef CAPABILITY
+#define CAPABILITY(x) COSIM_TSA_ATTR(capability(x))
+#endif
+
+/** Marks an RAII type that acquires a capability for its lifetime. */
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY COSIM_TSA_ATTR(scoped_lockable)
+#endif
+
+/** Field/variable may only be accessed while holding @p x. */
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) COSIM_TSA_ATTR(guarded_by(x))
+#endif
+
+/** Pointee (not the pointer itself) is guarded by @p x. */
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) COSIM_TSA_ATTR(pt_guarded_by(x))
+#endif
+
+/** Callers must hold the given capabilities (and keep them held). */
+#ifndef REQUIRES
+#define REQUIRES(...) COSIM_TSA_ATTR(requires_capability(__VA_ARGS__))
+#endif
+
+/** Function acquires the capability; callers must not hold it. */
+#ifndef ACQUIRE
+#define ACQUIRE(...) COSIM_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#endif
+
+/** Function releases the capability; callers must hold it. */
+#ifndef RELEASE
+#define RELEASE(...) COSIM_TSA_ATTR(release_capability(__VA_ARGS__))
+#endif
+
+/** Function acquires the capability iff it returns @p ret. */
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) COSIM_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#endif
+
+/** Callers must NOT hold the given capabilities (deadlock guard). */
+#ifndef EXCLUDES
+#define EXCLUDES(...) COSIM_TSA_ATTR(locks_excluded(__VA_ARGS__))
+#endif
+
+/** Runtime assertion that the capability is held (trusted by analysis). */
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) COSIM_TSA_ATTR(assert_capability(x))
+#endif
+
+/** Function returns a reference to the given capability. */
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) COSIM_TSA_ATTR(lock_returned(x))
+#endif
+
+/**
+ * Opt a function out of the analysis. Reserved for code that manages
+ * locks in ways the analysis cannot model (e.g. CondVar::wait, which
+ * releases and re-acquires the mutex internally); every use needs a
+ * comment explaining why it is safe.
+ */
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS COSIM_TSA_ATTR(no_thread_safety_analysis)
+#endif
+
+#endif // COSIM_BASE_ANNOTATIONS_HH

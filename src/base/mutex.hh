@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Annotated mutex / lock-guard / condition-variable wrappers.
+ *
+ * Thin shims over the std synchronization primitives that carry the
+ * Clang thread-safety capability attributes from base/annotations.hh.
+ * Using them (instead of std::mutex / std::lock_guard directly) is what
+ * lets `-Wthread-safety` prove, at compile time, that every
+ * `GUARDED_BY` field is only touched under its lock.
+ *
+ * Conventions (see DESIGN.md "Static analysis"):
+ *  - every mutex-protected field is declared `GUARDED_BY(mutex_)`;
+ *  - helpers that assume the caller already locked are `REQUIRES(mutex_)`;
+ *  - condition waits are written as explicit `while (!pred) cv.wait(lock)`
+ *    loops in the locked scope, NOT as predicate lambdas -- the analysis
+ *    treats a lambda body as a separate unannotated function, so guarded
+ *    reads inside a `wait(lock, pred)` lambda would defeat the checking.
+ */
+
+#ifndef COSIM_BASE_MUTEX_HH
+#define COSIM_BASE_MUTEX_HH
+
+#include <condition_variable>
+#include <mutex>
+
+#include "base/annotations.hh"
+
+namespace cosim {
+
+/** std::mutex carrying the "mutex" capability for -Wthread-safety. */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() ACQUIRE() { m_.lock(); }
+    void unlock() RELEASE() { m_.unlock(); }
+    bool tryLock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex m_;
+};
+
+/** RAII scoped lock over Mutex (std::lock_guard with the attributes). */
+class SCOPED_CAPABILITY LockGuard
+{
+  public:
+    explicit LockGuard(Mutex& m) ACQUIRE(m) : mutex_(m) { mutex_.lock(); }
+    ~LockGuard() RELEASE() { mutex_.unlock(); }
+
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+  private:
+    friend class CondVar;
+    Mutex& mutex_;
+};
+
+/**
+ * Condition variable bound to the annotated Mutex/LockGuard pair.
+ *
+ * wait() temporarily releases the guard's mutex and re-acquires it
+ * before returning, exactly like std::condition_variable; from the
+ * analysis' point of view the capability is held across the call (which
+ * is what makes `while (!pred) cv.wait(lock);` loops check out), so the
+ * internals are opted out with NO_THREAD_SAFETY_ANALYSIS.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    /** Atomically release @p guard's mutex and sleep; relocks before
+     * returning. Spurious wakeups possible: always wait in a loop. */
+    void
+    wait(LockGuard& guard) NO_THREAD_SAFETY_ANALYSIS
+    {
+        // Safe: the caller provably holds guard's mutex (LockGuard is a
+        // scoped capability), and the mutex is held again on return.
+        std::unique_lock<std::mutex> relock(guard.mutex_.m_,
+                                            std::adopt_lock);
+        cv_.wait(relock);
+        relock.release();
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace cosim
+
+#endif // COSIM_BASE_MUTEX_HH

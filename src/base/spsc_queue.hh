@@ -10,6 +10,11 @@
  * have a single core), and the blocking push *is* the backpressure that
  * stops a fast producer from buffering unbounded trace history.
  *
+ * All queue state is GUARDED_BY(mutex_), so Clang's -Wthread-safety
+ * proves the locking discipline at compile time; waits are explicit
+ * `while (!cond) cv.wait(lock)` loops for the same reason (see
+ * base/mutex.hh).
+ *
  * Contract: exactly one producer thread calls push()/close() and exactly
  * one consumer thread calls pop(). Capacity is fixed at construction.
  */
@@ -17,11 +22,12 @@
 #ifndef COSIM_BASE_SPSC_QUEUE_HH
 #define COSIM_BASE_SPSC_QUEUE_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "base/annotations.hh"
+#include "base/mutex.hh"
 
 namespace cosim {
 
@@ -39,14 +45,14 @@ class SpscQueue
     push(T item)
     {
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            notFull_.wait(lock,
-                          [this] { return items_.size() < capacity_; });
+            LockGuard lock(mutex_);
+            while (items_.size() >= capacity_)
+                notFull_.wait(lock);
             items_.push_back(std::move(item));
             if (items_.size() > peakDepth_)
                 peakDepth_ = items_.size();
         }
-        notEmpty_.notify_one();
+        notEmpty_.notifyOne();
     }
 
     /**
@@ -57,15 +63,15 @@ class SpscQueue
     pop(T& out)
     {
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            notEmpty_.wait(lock,
-                           [this] { return closed_ || !items_.empty(); });
+            LockGuard lock(mutex_);
+            while (!closed_ && items_.empty())
+                notEmpty_.wait(lock);
             if (items_.empty())
                 return false;
             out = std::move(items_.front());
             items_.pop_front();
         }
-        notFull_.notify_one();
+        notFull_.notifyOne();
         return true;
     }
 
@@ -74,16 +80,16 @@ class SpscQueue
     close()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            LockGuard lock(mutex_);
             closed_ = true;
         }
-        notEmpty_.notify_all();
+        notEmpty_.notifyAll();
     }
 
     std::size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         return items_.size();
     }
 
@@ -93,25 +99,25 @@ class SpscQueue
     std::size_t
     peakDepth() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         return peakDepth_;
     }
 
     void
     resetPeak()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         peakDepth_ = items_.size();
     }
 
   private:
-    mutable std::mutex mutex_;
-    std::condition_variable notFull_;
-    std::condition_variable notEmpty_;
-    std::deque<T> items_;
+    mutable Mutex mutex_;
+    CondVar notFull_;
+    CondVar notEmpty_;
+    std::deque<T> items_ GUARDED_BY(mutex_);
     const std::size_t capacity_;
-    std::size_t peakDepth_ = 0;
-    bool closed_ = false;
+    std::size_t peakDepth_ GUARDED_BY(mutex_) = 0;
+    bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace cosim

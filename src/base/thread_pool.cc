@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(unsigned n_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         stopping_ = true;
     }
-    taskReady_.notify_all();
+    taskReady_.notifyAll();
     for (std::thread& worker : workers_)
         worker.join();
 }
@@ -27,25 +27,26 @@ void
 ThreadPool::enqueue(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         panic_if(stopping_, "submit() on a stopping thread pool");
         tasks_.push_back(std::move(task));
         ++inFlight_;
     }
-    taskReady_.notify_one();
+    taskReady_.notifyOne();
 }
 
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return inFlight_ == 0; });
+    LockGuard lock(mutex_);
+    while (inFlight_ != 0)
+        idle_.wait(lock);
 }
 
 std::size_t
 ThreadPool::queuedTasks() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return tasks_.size();
 }
 
@@ -62,10 +63,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            taskReady_.wait(lock, [this] {
-                return stopping_ || !tasks_.empty();
-            });
+            LockGuard lock(mutex_);
+            while (!stopping_ && tasks_.empty())
+                taskReady_.wait(lock);
             // Drain-on-destruction: keep running queued tasks even while
             // stopping; exit only once the queue is empty.
             if (tasks_.empty())
@@ -75,10 +75,10 @@ ThreadPool::workerLoop()
         }
         task();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            LockGuard lock(mutex_);
             --inFlight_;
             if (inFlight_ == 0)
-                idle_.notify_all();
+                idle_.notifyAll();
         }
     }
 }

@@ -15,16 +15,17 @@
 #ifndef COSIM_BASE_THREAD_POOL_HH
 #define COSIM_BASE_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "base/annotations.hh"
+#include "base/mutex.hh"
 
 namespace cosim {
 
@@ -73,13 +74,15 @@ class ThreadPool
     void enqueue(std::function<void()> task);
     void workerLoop();
 
-    mutable std::mutex mutex_;
-    std::condition_variable taskReady_;
-    std::condition_variable idle_;
-    std::deque<std::function<void()>> tasks_;
+    mutable Mutex mutex_;
+    CondVar taskReady_;
+    CondVar idle_;
+    std::deque<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+    /** Populated in the constructor, joined in the destructor; never
+     * touched by the workers themselves, so not lock-protected. */
     std::vector<std::thread> workers_;
-    std::size_t inFlight_ = 0; ///< queued + currently running
-    bool stopping_ = false;
+    std::size_t inFlight_ GUARDED_BY(mutex_) = 0; ///< queued + running
+    bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace cosim

@@ -23,13 +23,13 @@
 #ifndef COSIM_CORE_EMULATOR_BANK_HH
 #define COSIM_CORE_EMULATOR_BANK_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "base/annotations.hh"
+#include "base/mutex.hh"
 #include "base/spsc_queue.hh"
 #include "dragonhead/dragonhead.hh"
 #include "mem/fsb.hh"
@@ -98,8 +98,8 @@ class AsyncEmulatorBank : public BusSnooper
     Dragonhead& emulator(unsigned i);
     const Dragonhead& emulator(unsigned i) const;
 
-    /** Delivery counters of emulator @p i (valid after sync()). */
-    const EmulatorWorkerStats& emulatorStats(unsigned i) const;
+    /** Delivery counters of emulator @p i (settled after sync()). */
+    EmulatorWorkerStats emulatorStats(unsigned i) const;
 
     /** Queue-depth high-water of the worker owning emulator @p i. */
     std::size_t queuePeak(unsigned i) const;
@@ -114,25 +114,31 @@ class AsyncEmulatorBank : public BusSnooper
 
         SpscQueue<Chunk> queue;
         std::vector<unsigned> emulators; ///< indices into emulators_
-        /** Chunks fully emulated; guarded by syncMutex_. */
-        std::uint64_t chunksDone = 0;
         /** Chunks pushed; written and read by the producer thread only. */
         std::uint64_t chunksPushed = 0;
         std::thread thread;
     };
 
     void publishPending();
-    void workerLoop(Worker& worker);
+    void workerLoop(unsigned w);
+
+    /** True once every worker drained all chunks pushed to it. */
+    bool drained() const REQUIRES(syncMutex_);
 
     EmulatorBankParams params_;
     std::vector<std::unique_ptr<Dragonhead>> emulators_;
     std::vector<std::unique_ptr<Worker>> workers_;
-    /** Guarded by syncMutex_ (written by workers, read after sync). */
-    std::vector<EmulatorWorkerStats> stats_;
+    /** Per-emulator delivery counters, written by the owning workers. */
+    std::vector<EmulatorWorkerStats> stats_ GUARDED_BY(syncMutex_);
+    /** chunksDone_[w]: chunks fully emulated by worker w. (Lives here,
+     * not in Worker, so the analysis can tie it to syncMutex_.) */
+    std::vector<std::uint64_t> chunksDone_ GUARDED_BY(syncMutex_);
+    /** Producer-thread-only staging buffer (observe/observeBatch and
+     * sync/reset are called from the one snooping thread). */
     std::vector<BusTransaction> pending_;
 
-    std::mutex syncMutex_;
-    std::condition_variable syncCv_;
+    mutable Mutex syncMutex_;
+    CondVar syncCv_;
 };
 
 } // namespace cosim

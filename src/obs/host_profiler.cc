@@ -27,7 +27,8 @@ HostProfiler::global()
 HostProfiler::PhaseTotal&
 HostProfiler::phase(const std::string& name)
 {
-    // Caller holds mutex_.
+    // REQUIRES(mutex_) in the declaration: -Wthread-safety rejects any
+    // call site that has not already locked.
     for (PhaseTotal& p : phases_) {
         if (p.name == name)
             return p;
@@ -39,7 +40,7 @@ HostProfiler::phase(const std::string& name)
 void
 HostProfiler::accumulate(const std::string& name, double seconds)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     PhaseTotal& p = phase(name);
     p.seconds += seconds;
     ++p.calls;
@@ -48,7 +49,7 @@ HostProfiler::accumulate(const std::string& name, double seconds)
 void
 HostProfiler::addSimulated(std::uint64_t insts, double seconds)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     simInsts_ += insts;
     simSeconds_ += seconds;
 }
@@ -56,7 +57,7 @@ HostProfiler::addSimulated(std::uint64_t insts, double seconds)
 void
 HostProfiler::noteEmulationThreads(unsigned n)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (n > emuThreads_)
         emuThreads_ = n;
 }
@@ -64,14 +65,14 @@ HostProfiler::noteEmulationThreads(unsigned n)
 unsigned
 HostProfiler::emulationThreads() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return emuThreads_;
 }
 
 double
 HostProfiler::seconds(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     for (const PhaseTotal& p : phases_) {
         if (p.name == name)
             return p.seconds;
@@ -82,7 +83,7 @@ HostProfiler::seconds(const std::string& name) const
 std::uint64_t
 HostProfiler::calls(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     for (const PhaseTotal& p : phases_) {
         if (p.name == name)
             return p.calls;
@@ -93,35 +94,35 @@ HostProfiler::calls(const std::string& name) const
 std::vector<HostProfiler::PhaseTotal>
 HostProfiler::phases() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return phases_;
 }
 
 std::uint64_t
 HostProfiler::simulatedInsts() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return simInsts_;
 }
 
 double
 HostProfiler::simulatedSeconds() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return simSeconds_;
 }
 
 double
 HostProfiler::simulatedMips() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return mipsOf(simInsts_, simSeconds_);
 }
 
 std::string
 HostProfiler::report() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     std::string out = "host profile:\n";
     for (const PhaseTotal& p : phases_) {
         out += strFormat("  %-24s %9.3fs  %8llu calls\n", p.name.c_str(),
@@ -141,7 +142,7 @@ HostProfiler::report() const
 stats::Group
 HostProfiler::statsGroup(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stats::Group g(name);
     for (const PhaseTotal& p : phases_) {
         double secs = p.seconds;
@@ -163,7 +164,7 @@ HostProfiler::statsGroup(const std::string& name) const
 void
 HostProfiler::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     phases_.clear();
     simInsts_ = 0;
     simSeconds_ = 0.0;

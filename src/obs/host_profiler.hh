@@ -15,11 +15,12 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "base/annotations.hh"
+#include "base/mutex.hh"
 #include "base/stats.hh"
 
 namespace cosim {
@@ -78,15 +79,15 @@ class HostProfiler
     void reset();
 
   private:
-    PhaseTotal& phase(const std::string& name);
+    PhaseTotal& phase(const std::string& name) REQUIRES(mutex_);
 
-    // All state below is guarded by mutex_: parallel sweep cells and the
-    // emulator-bank drain accounting feed the profiler concurrently.
-    mutable std::mutex mutex_;
-    std::vector<PhaseTotal> phases_;
-    std::uint64_t simInsts_ = 0;
-    double simSeconds_ = 0.0;
-    unsigned emuThreads_ = 0;
+    // Parallel sweep cells and the emulator-bank drain accounting feed
+    // the profiler concurrently.
+    mutable Mutex mutex_;
+    std::vector<PhaseTotal> phases_ GUARDED_BY(mutex_);
+    std::uint64_t simInsts_ GUARDED_BY(mutex_) = 0;
+    double simSeconds_ GUARDED_BY(mutex_) = 0.0;
+    unsigned emuThreads_ GUARDED_BY(mutex_) = 0;
 };
 
 /** RAII wall-clock timer accumulating into a HostProfiler phase. */

@@ -19,7 +19,7 @@ StatsRegistry::global()
 stats::Group&
 StatsRegistry::add(stats::Group group)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     for (stats::Group& g : groups_) {
         if (g.name() == group.name()) {
             g = std::move(group);
@@ -44,7 +44,7 @@ StatsRegistry::addSnapshotOf(const StatsRegistry& src,
     // arbitrary time, and src may be *this in odd call patterns.
     std::vector<stats::Group> frozen;
     {
-        std::lock_guard<std::mutex> lock(src.mutex_);
+        LockGuard lock(src.mutex_);
         frozen.reserve(src.groups_.size());
         for (const stats::Group& g : src.groups_) {
             stats::Group copy(prefix + g.name());
@@ -60,14 +60,14 @@ StatsRegistry::addSnapshotOf(const StatsRegistry& src,
 void
 StatsRegistry::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     groups_.clear();
 }
 
 std::vector<std::string>
 StatsRegistry::groupNames() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     std::vector<std::string> out;
     out.reserve(groups_.size());
     for (const stats::Group& g : groups_)
@@ -78,7 +78,7 @@ StatsRegistry::groupNames() const
 const stats::Group*
 StatsRegistry::find(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     for (const stats::Group& g : groups_) {
         if (g.name() == name)
             return &g;
@@ -89,7 +89,7 @@ StatsRegistry::find(const std::string& name) const
 std::string
 StatsRegistry::dumpText() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     std::string out;
     for (const stats::Group& g : groups_)
         out += g.dump();
@@ -99,7 +99,7 @@ StatsRegistry::dumpText() const
 std::string
 StatsRegistry::dumpJson() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     std::string out = "{";
     bool first_group = true;
     for (const stats::Group& g : groups_) {
@@ -124,7 +124,7 @@ StatsRegistry::dumpJson() const
 std::string
 StatsRegistry::dumpCsv() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     std::string out = "stat,value\n";
     for (const stats::Group& g : groups_) {
         for (const auto& [stat_name, value] : g.collect()) {

@@ -27,10 +27,11 @@
 #define COSIM_OBS_STATS_REGISTRY_HH
 
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/annotations.hh"
+#include "base/mutex.hh"
 #include "base/stats.hh"
 
 namespace cosim {
@@ -67,7 +68,7 @@ class StatsRegistry
 
     std::size_t size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         return groups_.size();
     }
 
@@ -94,8 +95,8 @@ class StatsRegistry
 
   private:
     // Deque: references returned by add() stay valid as groups are added.
-    std::deque<stats::Group> groups_;
-    mutable std::mutex mutex_;
+    std::deque<stats::Group> groups_ GUARDED_BY(mutex_);
+    mutable Mutex mutex_;
 };
 
 } // namespace obs

@@ -19,7 +19,7 @@ TraceSession::global()
 void
 TraceSession::start()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     events_.clear();
     origin_ = std::chrono::steady_clock::now();
     active_.store(true, std::memory_order_relaxed);
@@ -47,7 +47,7 @@ TraceSession::recordComplete(TraceDomain domain, std::uint32_t tid,
 {
     if (!active())
         return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     TraceEvent e;
     e.phase = TraceEvent::Phase::Complete;
     e.domain = domain;
@@ -68,7 +68,7 @@ TraceSession::recordInstant(TraceDomain domain, std::uint32_t tid,
 {
     if (!active())
         return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     TraceEvent e;
     e.phase = TraceEvent::Phase::Instant;
     e.domain = domain;
@@ -85,7 +85,7 @@ TraceSession::recordCounter(TraceDomain domain, const std::string& name,
 {
     if (!active())
         return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     TraceEvent e;
     e.phase = TraceEvent::Phase::Counter;
     e.domain = domain;
@@ -99,14 +99,14 @@ TraceSession::recordCounter(TraceDomain domain, const std::string& name,
 std::size_t
 TraceSession::eventCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return events_.size();
 }
 
 std::vector<TraceEvent>
 TraceSession::events() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return events_;
 }
 
@@ -166,7 +166,7 @@ TraceSession::writeJson(const std::string& path) const
 void
 TraceSession::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     events_.clear();
 }
 

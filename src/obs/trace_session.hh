@@ -25,9 +25,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "base/annotations.hh"
+#include "base/mutex.hh"
 
 namespace cosim {
 namespace obs {
@@ -110,9 +112,11 @@ class TraceSession
     void clear();
 
   private:
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
     std::atomic<bool> active_{false};
-    std::vector<TraceEvent> events_;
+    std::vector<TraceEvent> events_ GUARDED_BY(mutex_);
+    /** Not GUARDED_BY: written in start(), read-only (via hostNowUs())
+     * from tracing threads while a session is active. */
     std::chrono::steady_clock::time_point origin_{};
 };
 

@@ -178,7 +178,7 @@ TEST(ParallelEmulation, BankReportsDeliveryStats)
     const std::uint64_t fsb_txns =
         cosim.platform().fsb().txnCount();
     for (unsigned e = 0; e < bank->nEmulators(); ++e) {
-        const EmulatorWorkerStats& s = bank->emulatorStats(e);
+        const EmulatorWorkerStats s = bank->emulatorStats(e);
         EXPECT_GT(s.batches, 1u) << "emulator " << e;
         // Every emulator saw the complete transaction stream.
         EXPECT_EQ(s.txns, fsb_txns) << "emulator " << e;

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "base/mutex.hh"
 #include "base/spsc_queue.hh"
 #include "base/thread_pool.hh"
 
@@ -166,6 +167,37 @@ TEST(SpscQueue, PeakDepthTracksHighWater)
     EXPECT_EQ(q.peakDepth(), 3u); // high water survives pops
     q.resetPeak();
     EXPECT_EQ(q.peakDepth(), 1u); // resets to current depth
+}
+
+TEST(Mutex, TryLockReportsContention)
+{
+    Mutex m;
+    ASSERT_TRUE(m.tryLock());
+    std::thread other([&] { EXPECT_FALSE(m.tryLock()); });
+    other.join();
+    m.unlock();
+    ASSERT_TRUE(m.tryLock());
+    m.unlock();
+}
+
+TEST(CondVar, WaitReleasesAndReacquiresTheMutex)
+{
+    Mutex m;
+    CondVar cv;
+    bool ready = false; // guarded by m (by convention in this test)
+    std::thread signaller([&] {
+        LockGuard lock(m);
+        ready = true;
+        cv.notifyOne();
+    });
+    {
+        LockGuard lock(m);
+        // The signaller can only make progress if wait() releases m.
+        while (!ready)
+            cv.wait(lock);
+        EXPECT_TRUE(ready);
+    }
+    signaller.join();
 }
 
 } // namespace
