@@ -22,13 +22,16 @@ TraceSession::start()
     LockGuard lock(mutex_);
     events_.clear();
     origin_ = std::chrono::steady_clock::now();
-    active_.store(true, std::memory_order_relaxed);
+    // Release pairs with the acquire in active(): a thread that sees
+    // active_ == true is guaranteed to see the origin_ written above,
+    // so its hostNowUs() timestamps are relative to this session.
+    active_.store(true, std::memory_order_release);
 }
 
 void
 TraceSession::stop()
 {
-    active_.store(false, std::memory_order_relaxed);
+    active_.store(false, std::memory_order_release);
 }
 
 double

@@ -71,10 +71,11 @@ class TraceSession
     /** Stop collecting; collected events stay available for export. */
     void stop();
 
-    /** True while a session is collecting (hot-path gate). */
+    /** True while a session is collecting (hot-path gate). Acquire:
+     * seeing true also publishes the origin_ start() wrote. */
     bool active() const
     {
-        return active_.load(std::memory_order_relaxed);
+        return active_.load(std::memory_order_acquire);
     }
 
     /** Host-clock timestamp: microseconds since start(). */
@@ -115,8 +116,9 @@ class TraceSession
     mutable Mutex mutex_;
     std::atomic<bool> active_{false};
     std::vector<TraceEvent> events_ GUARDED_BY(mutex_);
-    /** Not GUARDED_BY: written in start(), read-only (via hostNowUs())
-     * from tracing threads while a session is active. */
+    /** Not GUARDED_BY: written in start() before the release store of
+     * active_, read-only (via hostNowUs()) from tracing threads that
+     * observed active() == true. */
     std::chrono::steady_clock::time_point origin_{};
 };
 
