@@ -1,0 +1,757 @@
+#include "tools/cosim_lint/linter.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <sstream>
+
+namespace cosim_lint {
+
+namespace {
+
+bool
+startsWith(const std::string& s, const std::string& prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string& s, const std::string& suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string
+trim(const std::string& s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string>
+splitLines(const std::string& content)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start <= content.size()) {
+        std::size_t nl = content.find('\n', start);
+        if (nl == std::string::npos) {
+            if (start < content.size())
+                lines.push_back(content.substr(start));
+            break;
+        }
+        lines.push_back(content.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+/**
+ * Blank out comments and string/char literal *contents* (structure and
+ * line breaks preserved), so the token rules never fire on prose or
+ * quoted text. Handles //, multi-line block comments, escape sequences,
+ * and R"delim(...)delim" raw strings.
+ */
+std::string
+stripCommentsAndStrings(const std::string& in)
+{
+    std::string out = in;
+    enum class State { Code, Line, Block, Str, Chr, Raw };
+    State state = State::Code;
+    std::string rawEnd; // ")delim\"" terminator of the active raw string
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        char c = in[i];
+        char next = i + 1 < in.size() ? in[i + 1] : '\0';
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::Line;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::Block;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '"') {
+                bool raw = i > 0 && in[i - 1] == 'R' &&
+                           (i < 2 || !isIdentChar(in[i - 2]));
+                if (raw) {
+                    std::size_t open = in.find('(', i + 1);
+                    if (open == std::string::npos)
+                        return out; // malformed; nothing more to do
+                    rawEnd = ")" + in.substr(i + 1, open - i - 1) + "\"";
+                    for (std::size_t j = i; j <= open; ++j)
+                        out[j] = ' ';
+                    i = open;
+                    state = State::Raw;
+                } else {
+                    state = State::Str;
+                }
+            } else if (c == '\'') {
+                state = State::Chr;
+            }
+            break;
+          case State::Line:
+            if (c == '\n')
+                state = State::Code;
+            else
+                out[i] = ' ';
+            break;
+          case State::Block:
+            if (c == '*' && next == '/') {
+                out[i] = out[i + 1] = ' ';
+                ++i;
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::Str:
+          case State::Chr:
+            if (c == '\\' && next != '\0') {
+                out[i] = ' ';
+                if (next != '\n')
+                    out[i + 1] = ' ';
+                ++i;
+            } else if (c == (state == State::Str ? '"' : '\'')) {
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::Raw:
+            if (c == ')' && in.compare(i, rawEnd.size(), rawEnd) == 0) {
+                for (std::size_t j = 0; j < rawEnd.size(); ++j)
+                    out[i + j] = ' ';
+                i += rawEnd.size() - 1;
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+/** @p name appears at @p pos as a full word (':' before is allowed so
+ * std::rand still matches; 'x_rand' / 'operand' do not). */
+bool
+wordBoundaryAt(const std::string& line, std::size_t pos,
+               std::size_t len)
+{
+    if (pos > 0 && isIdentChar(line[pos - 1]))
+        return false;
+    std::size_t end = pos + len;
+    return end >= line.size() || !isIdentChar(line[end]);
+}
+
+/** True when @p name occurs as a word in @p line. */
+bool
+containsWord(const std::string& line, const std::string& name)
+{
+    std::size_t pos = 0;
+    while ((pos = line.find(name, pos)) != std::string::npos) {
+        if (wordBoundaryAt(line, pos, name.size()))
+            return true;
+        ++pos;
+    }
+    return false;
+}
+
+/** True when @p name occurs as a word followed by '(' (a call). Writes
+ * the match position for context checks. */
+bool
+containsCall(const std::string& line, const std::string& name,
+             std::size_t* match_pos = nullptr)
+{
+    std::size_t pos = 0;
+    while ((pos = line.find(name, pos)) != std::string::npos) {
+        if (wordBoundaryAt(line, pos, name.size())) {
+            std::size_t after = pos + name.size();
+            while (after < line.size() &&
+                   (line[after] == ' ' || line[after] == '\t'))
+                ++after;
+            if (after < line.size() && line[after] == '(') {
+                if (match_pos)
+                    *match_pos = pos;
+                return true;
+            }
+        }
+        ++pos;
+    }
+    return false;
+}
+
+/** Per-file suppression state parsed from `cosim-lint:` directives. */
+struct Suppressions
+{
+    std::set<std::string> fileWide;
+    /** rule -> 1-based lines where it is allowed. */
+    std::set<std::pair<std::string, int>> lines;
+
+    bool
+    allows(const std::string& rule, int line) const
+    {
+        return fileWide.count(rule) > 0 ||
+               lines.count({rule, line}) > 0;
+    }
+};
+
+void
+parseDirectiveList(const std::string& text, std::size_t open_paren,
+                   int line_no, bool file_wide, Suppressions* out)
+{
+    std::size_t close = text.find(')', open_paren);
+    if (close == std::string::npos)
+        return;
+    std::string inner = text.substr(open_paren + 1,
+                                    close - open_paren - 1);
+    std::stringstream ss(inner);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+        rule = trim(rule);
+        if (rule.empty())
+            continue;
+        if (file_wide) {
+            out->fileWide.insert(rule);
+        } else {
+            // A directive covers its own line and the one below, so it
+            // can sit at the end of the offending line or just above.
+            out->lines.insert({rule, line_no});
+            out->lines.insert({rule, line_no + 1});
+        }
+    }
+}
+
+Suppressions
+parseSuppressions(const std::vector<std::string>& raw_lines)
+{
+    Suppressions sup;
+    const std::string kTag = "cosim-lint:";
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+        const std::string& line = raw_lines[i];
+        std::size_t tag = line.find(kTag);
+        if (tag == std::string::npos)
+            continue;
+        std::size_t cursor = tag + kTag.size();
+        std::size_t allow_file = line.find("allow-file(", cursor);
+        std::size_t allow = line.find("allow(", cursor);
+        int n = static_cast<int>(i) + 1;
+        if (allow_file != std::string::npos) {
+            parseDirectiveList(line, allow_file + 10, n, true, &sup);
+        } else if (allow != std::string::npos) {
+            parseDirectiveList(line, allow + 5, n, false, &sup);
+        }
+    }
+    return sup;
+}
+
+/** Names declared as std::unordered_{map,set,multimap,multiset} fields
+ * or locals anywhere in the file (template args may span lines). */
+std::set<std::string>
+unorderedContainerNames(const std::string& code)
+{
+    std::set<std::string> names;
+    static const char* kTypes[] = {"unordered_map", "unordered_set",
+                                   "unordered_multimap",
+                                   "unordered_multiset"};
+    for (const char* type : kTypes) {
+        std::size_t pos = 0;
+        while ((pos = code.find(type, pos)) != std::string::npos) {
+            std::size_t after = pos + std::string(type).size();
+            pos = after;
+            if (after >= code.size() || code[after] != '<')
+                continue;
+            // Find the matching '>' of the template argument list.
+            int depth = 0;
+            std::size_t i = after;
+            for (; i < code.size(); ++i) {
+                if (code[i] == '<')
+                    ++depth;
+                else if (code[i] == '>' && --depth == 0)
+                    break;
+            }
+            if (i >= code.size())
+                continue;
+            // Skip whitespace / ref / ptr, then read the identifier.
+            ++i;
+            while (i < code.size() &&
+                   (std::isspace(static_cast<unsigned char>(code[i])) ||
+                    code[i] == '&' || code[i] == '*'))
+                ++i;
+            std::string name;
+            while (i < code.size() && isIdentChar(code[i]))
+                name += code[i++];
+            if (!name.empty() && name != "const")
+                names.insert(name);
+        }
+    }
+    return names;
+}
+
+/** The identifier the range expression of a range-for ends with, or ""
+ * if @p line has no range-for. */
+std::string
+rangeForTarget(const std::string& line)
+{
+    std::size_t pos = 0;
+    while ((pos = line.find("for", pos)) != std::string::npos) {
+        if (!wordBoundaryAt(line, pos, 3)) {
+            ++pos;
+            continue;
+        }
+        std::size_t open = line.find('(', pos + 3);
+        if (open == std::string::npos)
+            return "";
+        int depth = 0;
+        std::size_t close = open;
+        for (; close < line.size(); ++close) {
+            if (line[close] == '(')
+                ++depth;
+            else if (line[close] == ')' && --depth == 0)
+                break;
+        }
+        std::string inner = line.substr(
+            open + 1,
+            (close < line.size() ? close : line.size()) - open - 1);
+        // The range-for ':' -- skip every "::" scope operator.
+        std::size_t colon = std::string::npos;
+        for (std::size_t i = 0; i < inner.size(); ++i) {
+            if (inner[i] != ':')
+                continue;
+            if (i + 1 < inner.size() && inner[i + 1] == ':') {
+                ++i;
+                continue;
+            }
+            if (i > 0 && inner[i - 1] == ':')
+                continue;
+            colon = i;
+            break;
+        }
+        if (colon == std::string::npos) {
+            pos = close;
+            continue;
+        }
+        std::string range = trim(inner.substr(colon + 1));
+        // Strip a trailing call/index so "m.items()" -> "items".
+        while (!range.empty() && !isIdentChar(range.back()))
+            range.pop_back();
+        std::size_t b = range.size();
+        while (b > 0 && isIdentChar(range[b - 1]))
+            --b;
+        return range.substr(b);
+    }
+    return "";
+}
+
+struct CallRule
+{
+    const char* rule;
+    const char* name;
+    const char* message;
+};
+
+const CallRule kDeterminismCalls[] = {
+    {"no-rand", "rand", "libc rand() is nondeterministic across hosts; "
+                        "use cosim::Rng (base/random.hh)"},
+    {"no-rand", "srand", "seed state hidden in libc; use cosim::Rng"},
+    {"no-rand", "drand48", "use cosim::Rng (base/random.hh)"},
+    {"no-rand", "lrand48", "use cosim::Rng (base/random.hh)"},
+    {"no-rand", "mrand48", "use cosim::Rng (base/random.hh)"},
+    {"no-time", "time", "wall-clock time() in simulation code breaks "
+                        "replay bit-identity"},
+    {"no-time", "gettimeofday", "wall-clock in simulation code breaks "
+                                "replay bit-identity"},
+    {"no-time", "clock_gettime", "wall-clock in simulation code breaks "
+                                 "replay bit-identity"},
+    {"no-time", "localtime", "calendar time in simulation code breaks "
+                             "replay bit-identity"},
+    {"no-time", "gmtime", "calendar time in simulation code breaks "
+                          "replay bit-identity"},
+};
+
+// Stream-output calls only: snprintf/vsnprintf into a caller buffer is
+// deterministic string formatting, not the bypass-the-logging-layer
+// hazard this rule exists for.
+const CallRule kPrintfCalls[] = {
+    {"no-printf", "printf", ""},   {"no-printf", "fprintf", ""},
+    {"no-printf", "vprintf", ""},  {"no-printf", "vfprintf", ""},
+    {"no-printf", "puts", ""},     {"no-printf", "fputs", ""},
+    {"no-printf", "putchar", ""},
+};
+
+bool
+isHeaderPath(const std::string& rel_path)
+{
+    return endsWith(rel_path, ".hh") || endsWith(rel_path, ".hpp");
+}
+
+const char* kProjectIncludeDirs[] = {
+    "base/",   "cache/",   "core/",     "dragonhead/", "harness/",
+    "mem/",    "obs/",     "prefetch/", "softsdv/",    "trace/",
+    "workloads/", "tools/", "tests/",
+};
+
+bool
+isProjectIncludePath(const std::string& path)
+{
+    for (const char* dir : kProjectIncludeDirs) {
+        if (startsWith(path, dir))
+            return true;
+    }
+    return false;
+}
+
+/** Parsed "#include <x>" / "#include \"x\"" line, or empty path. */
+struct IncludeLine
+{
+    std::string path;
+    bool angled = false;
+};
+
+IncludeLine
+parseInclude(const std::string& line)
+{
+    IncludeLine inc;
+    std::string t = trim(line);
+    if (!startsWith(t, "#"))
+        return inc;
+    t = trim(t.substr(1));
+    if (!startsWith(t, "include"))
+        return inc;
+    t = trim(t.substr(7));
+    if (t.size() < 2)
+        return inc;
+    char open = t[0];
+    char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+    if (close == '\0')
+        return inc;
+    std::size_t end = t.find(close, 1);
+    if (end == std::string::npos)
+        return inc;
+    inc.path = t.substr(1, end - 1);
+    inc.angled = open == '<';
+    return inc;
+}
+
+/** 0-based indexes of the `#ifndef` and following `#define` guard
+ * lines, or (-1, -1); also reports the guard name found. */
+void
+findGuardLines(const std::vector<std::string>& code_lines,
+               int* ifndef_line, int* define_line, std::string* name)
+{
+    *ifndef_line = *define_line = -1;
+    for (std::size_t i = 0; i < code_lines.size(); ++i) {
+        std::string t = trim(code_lines[i]);
+        if (t.empty())
+            continue;
+        if (startsWith(t, "#ifndef ")) {
+            std::string g = trim(t.substr(8));
+            if (*ifndef_line < 0) {
+                *ifndef_line = static_cast<int>(i);
+                *name = g;
+            }
+        } else if (startsWith(t, "#define ") && *ifndef_line >= 0) {
+            *define_line = static_cast<int>(i);
+            return;
+        } else if (!startsWith(t, "#")) {
+            // First real code before any guard: no guard.
+            return;
+        }
+    }
+}
+
+} // namespace
+
+std::string
+Finding::format() const
+{
+    return file + ":" + std::to_string(line) + ": " + rule + ": " +
+           message;
+}
+
+std::vector<std::string>
+allRules()
+{
+    return {"no-rand",        "no-time",
+            "no-system-clock", "no-random-device",
+            "unordered-iteration", "no-raw-new",
+            "no-raw-delete",  "no-printf",
+            "header-guard",   "include-hygiene",
+            "trailing-whitespace"};
+}
+
+RuleSet
+ruleSetFor(const std::string& rel_path)
+{
+    RuleSet rs; // mechanical hygiene applies everywhere
+    if (!startsWith(rel_path, "src/"))
+        return rs;
+
+    rs.noRawNewDelete = true;
+    // The harness is the CLI-facing reporting layer: banners and figure
+    // tables go to stdout by design.
+    rs.noPrintf = !startsWith(rel_path, "src/harness/");
+
+    // Simulation code: anything whose behaviour feeds simulated state,
+    // results, or serialized output. base/ (host utilities, and the
+    // sanctioned PRNG itself) and obs/ (host-side wall-clock profiling)
+    // are exempt from the determinism group.
+    static const char* kSimDirs[] = {
+        "src/softsdv/", "src/dragonhead/", "src/cache/", "src/mem/",
+        "src/trace/",   "src/core/",       "src/workloads/",
+        "src/prefetch/",
+    };
+    for (const char* dir : kSimDirs) {
+        if (startsWith(rel_path, dir)) {
+            rs.determinism = true;
+            break;
+        }
+    }
+    return rs;
+}
+
+std::string
+canonicalGuard(const std::string& rel_path)
+{
+    std::string path = rel_path;
+    if (startsWith(path, "src/"))
+        path = path.substr(4);
+    std::string guard = "COSIM_";
+    for (char c : path) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            guard += static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+        else
+            guard += '_';
+    }
+    return guard;
+}
+
+std::vector<Finding>
+lintContent(const std::string& rel_path, const std::string& content,
+            const RuleSet& rules)
+{
+    std::vector<Finding> findings;
+    const std::vector<std::string> raw = splitLines(content);
+    const std::string code_text = stripCommentsAndStrings(content);
+    const std::vector<std::string> code = splitLines(code_text);
+    const Suppressions sup = parseSuppressions(raw);
+
+    auto report = [&](const std::string& rule, int line,
+                      const std::string& message) {
+        if (!sup.allows(rule, line))
+            findings.push_back(Finding{rel_path, line, rule, message});
+    };
+
+    const std::set<std::string> unordered_names =
+        rules.determinism ? unorderedContainerNames(code_text)
+                          : std::set<std::string>{};
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const std::string& line = code[i];
+        const int n = static_cast<int>(i) + 1;
+        // Parse the include path from the raw line: a quoted include is
+        // a string literal, so the stripped line has it blanked out.
+        // Gating on the stripped line still opening with '#' keeps
+        // directives inside comments or raw strings from counting.
+        const IncludeLine inc = startsWith(trim(line), "#") &&
+                                        i < raw.size()
+                                    ? parseInclude(raw[i])
+                                    : IncludeLine{};
+
+        if (rules.determinism && inc.path.empty()) {
+            for (const CallRule& r : kDeterminismCalls) {
+                if (containsCall(line, r.name))
+                    report(r.rule, n, r.message);
+            }
+            if (containsWord(line, "system_clock"))
+                report("no-system-clock", n,
+                       "std::chrono::system_clock is wall-clock; use "
+                       "steady_clock for host timing, simulated time "
+                       "for model behaviour");
+            if (containsWord(line, "random_device"))
+                report("no-random-device", n,
+                       "std::random_device is host entropy; cosim::Rng "
+                       "(base/random.hh) is the only sanctioned "
+                       "randomness source");
+            if (!unordered_names.empty()) {
+                std::string target = rangeForTarget(line);
+                if (!target.empty() && unordered_names.count(target)) {
+                    report("unordered-iteration", n,
+                           "iterating '" + target +
+                               "' (std::unordered_*) has host-dependent "
+                               "order; sort or use an ordered container "
+                               "before results/serialization");
+                }
+            }
+        }
+
+        if (rules.noRawNewDelete && inc.path.empty()) {
+            if (containsWord(line, "new"))
+                report("no-raw-new", n,
+                       "raw new in library code; use std::make_unique "
+                       "or a container");
+            std::size_t pos = 0;
+            while ((pos = line.find("delete", pos)) !=
+                   std::string::npos) {
+                if (wordBoundaryAt(line, pos, 6)) {
+                    std::string before = trim(line.substr(0, pos));
+                    if (before.empty() || before.back() != '=') {
+                        report("no-raw-delete", n,
+                               "raw delete in library code; use "
+                               "std::unique_ptr ownership");
+                        break;
+                    }
+                }
+                pos += 6;
+            }
+        }
+
+        if (rules.noPrintf) {
+            for (const CallRule& r : kPrintfCalls) {
+                if (containsCall(line, r.name)) {
+                    report("no-printf", n,
+                           std::string(r.name) +
+                               "() in library code; use the "
+                               "base/logging.hh macros or return "
+                               "strings to the caller");
+                    break;
+                }
+            }
+        }
+
+        if (rules.includeHygiene) {
+            if (!inc.path.empty()) {
+                if (inc.angled && isProjectIncludePath(inc.path)) {
+                    report("include-hygiene", n,
+                           "project header '" + inc.path +
+                               "' included with <>; use \"quotes\"");
+                } else if (startsWith(inc.path, "../")) {
+                    report("include-hygiene", n,
+                           "relative include '" + inc.path +
+                               "'; include repo-root-relative paths");
+                }
+            }
+        }
+
+        if (rules.trailingWhitespace && i < raw.size() &&
+            !raw[i].empty()) {
+            char last = raw[i].back();
+            if (last == ' ' || last == '\t')
+                report("trailing-whitespace", n, "trailing whitespace");
+        }
+    }
+
+    if (rules.headerGuard && isHeaderPath(rel_path)) {
+        const std::string want = canonicalGuard(rel_path);
+        int ifndef_line = -1, define_line = -1;
+        std::string have;
+        findGuardLines(code, &ifndef_line, &define_line, &have);
+        if (ifndef_line < 0 || define_line < 0) {
+            if (!sup.allows("header-guard", 1))
+                findings.push_back(Finding{
+                    rel_path, 1, "header-guard",
+                    "missing include guard; expected #ifndef " + want});
+        } else if (have != want) {
+            report("header-guard", ifndef_line + 1,
+                   "include guard '" + have + "' should be '" + want +
+                       "'");
+        }
+    }
+
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const Finding& a, const Finding& b) {
+                         return a.line < b.line;
+                     });
+    return findings;
+}
+
+std::string
+fixContent(const std::string& rel_path, const std::string& content,
+           const RuleSet& rules)
+{
+    std::vector<std::string> raw = splitLines(content);
+    const std::string code_text = stripCommentsAndStrings(content);
+    std::vector<std::string> code = splitLines(code_text);
+    const Suppressions sup = parseSuppressions(raw);
+    const bool ends_with_newline =
+        !content.empty() && content.back() == '\n';
+
+    if (rules.trailingWhitespace) {
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            int n = static_cast<int>(i) + 1;
+            if (sup.allows("trailing-whitespace", n))
+                continue;
+            std::size_t e = raw[i].find_last_not_of(" \t");
+            if (e == std::string::npos)
+                raw[i].clear();
+            else if (e + 1 < raw[i].size())
+                raw[i].resize(e + 1);
+        }
+    }
+
+    if (rules.includeHygiene) {
+        for (std::size_t i = 0; i < raw.size() && i < code.size(); ++i) {
+            int n = static_cast<int>(i) + 1;
+            if (sup.allows("include-hygiene", n))
+                continue;
+            IncludeLine inc = parseInclude(code[i]);
+            if (inc.path.empty() || !inc.angled ||
+                !isProjectIncludePath(inc.path))
+                continue;
+            std::size_t open = raw[i].find('<');
+            std::size_t close = raw[i].find('>', open);
+            if (open == std::string::npos || close == std::string::npos)
+                continue;
+            raw[i] = raw[i].substr(0, open) + "\"" + inc.path + "\"" +
+                     raw[i].substr(close + 1);
+        }
+    }
+
+    if (rules.headerGuard && isHeaderPath(rel_path) &&
+        !sup.allows("header-guard", 1)) {
+        const std::string want = canonicalGuard(rel_path);
+        int ifndef_line = -1, define_line = -1;
+        std::string have;
+        findGuardLines(code, &ifndef_line, &define_line, &have);
+        if (ifndef_line >= 0 && define_line >= 0 && have != want &&
+            !sup.allows("header-guard", ifndef_line + 1)) {
+            raw[ifndef_line] = "#ifndef " + want;
+            raw[define_line] = "#define " + want;
+            // Rename the closing "#endif // GUARD" comment if present.
+            for (std::size_t i = raw.size(); i-- > 0;) {
+                std::string t = trim(code[i]);
+                if (startsWith(t, "#endif")) {
+                    raw[i] = "#endif // " + want;
+                    break;
+                }
+                if (!t.empty())
+                    break;
+            }
+        }
+    }
+
+    std::string out;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        out += raw[i];
+        if (i + 1 < raw.size() || ends_with_newline)
+            out += '\n';
+    }
+    return out;
+}
+
+} // namespace cosim_lint

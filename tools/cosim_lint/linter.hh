@@ -1,0 +1,103 @@
+/**
+ * @file
+ * cosim-lint: repo-specific static checks the compilers cannot express.
+ *
+ * A self-contained token/line-level linter enforcing the project's
+ * determinism and hygiene rules (see DESIGN.md "Static analysis"):
+ *
+ *   Determinism (simulation code only -- anything here can silently
+ *   break replay/parallel bit-identity):
+ *     no-rand            rand()/srand()/drand48() etc.
+ *     no-time            time()/gettimeofday()/localtime()/clock()
+ *     no-system-clock    std::chrono::system_clock (steady_clock is fine)
+ *     no-random-device   std::random_device (base/random.hh Rng is the
+ *                        one sanctioned randomness source)
+ *     unordered-iteration  range-for over a container declared
+ *                        std::unordered_* in the same file: iteration
+ *                        order is host-dependent, so it must never feed
+ *                        serialization or output
+ *
+ *   Library hygiene:
+ *     no-raw-new         raw `new` (use make_unique/containers)
+ *     no-raw-delete      raw `delete` (`= delete` declarations are fine)
+ *     no-printf          printf-family in library code (harness/CLIs
+ *                        excepted; logging.cc carries allow-file)
+ *
+ *   Mechanical (fixable with --fix):
+ *     header-guard       .hh guards must be COSIM_<PATH>_HH
+ *     include-hygiene    project headers use "quotes", no ../ paths
+ *     trailing-whitespace
+ *
+ * Suppressions: `// cosim-lint: allow(<rule>)` on the offending line or
+ * the line just above it; `// cosim-lint: allow-file(<rule>)` anywhere
+ * in a file suppresses the rule file-wide. Rules are chosen per
+ * repo-relative directory by ruleSetFor().
+ *
+ * The linting core is a pure function over (path, content) so the test
+ * suite can drive every rule against embedded fixture snippets; all
+ * file-system walking lives in main.cc.
+ */
+
+#ifndef COSIM_TOOLS_COSIM_LINT_LINTER_HH
+#define COSIM_TOOLS_COSIM_LINT_LINTER_HH
+
+#include <string>
+#include <vector>
+
+namespace cosim_lint {
+
+/** One reported violation. */
+struct Finding
+{
+    std::string file; ///< repo-relative path
+    int line = 0;     ///< 1-based
+    std::string rule;
+    std::string message;
+
+    /** The machine-readable "file:line: rule: message" form. */
+    std::string format() const;
+};
+
+/** Which rule groups apply to a file (see ruleSetFor). */
+struct RuleSet
+{
+    bool determinism = false; ///< no-rand/-time/-system-clock/... group
+    bool noRawNewDelete = false;
+    bool noPrintf = false;
+    bool headerGuard = true;
+    bool includeHygiene = true;
+    bool trailingWhitespace = true;
+};
+
+/** Every rule name, in stable reporting order. */
+std::vector<std::string> allRules();
+
+/**
+ * Rule set for a repo-relative path ("src/cache/cache.cc",
+ * "tests/test_base.cc"). Simulation directories get the determinism
+ * group; all of src/ except the CLI-facing harness gets the library
+ * rules; tests/bench/examples/tools only the mechanical hygiene.
+ */
+RuleSet ruleSetFor(const std::string& rel_path);
+
+/** Canonical include guard for a header path: "src/obs/json.hh" ->
+ * "COSIM_OBS_JSON_HH" (the leading "src/" is dropped, other top-level
+ * directories keep their name). */
+std::string canonicalGuard(const std::string& rel_path);
+
+/** Lint @p content as repo-relative @p rel_path under @p rules. */
+std::vector<Finding> lintContent(const std::string& rel_path,
+                                 const std::string& content,
+                                 const RuleSet& rules);
+
+/**
+ * Apply the mechanical fixes (header-guard, include-hygiene,
+ * trailing-whitespace) and return the rewritten content; non-fixable
+ * rules are untouched. fix(fix(x)) == fix(x).
+ */
+std::string fixContent(const std::string& rel_path,
+                       const std::string& content, const RuleSet& rules);
+
+} // namespace cosim_lint
+
+#endif // COSIM_TOOLS_COSIM_LINT_LINTER_HH

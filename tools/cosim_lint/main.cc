@@ -1,0 +1,202 @@
+/**
+ * @file
+ * cosim_lint command-line driver: file walking and I/O around the pure
+ * linting core in linter.cc.
+ *
+ *   cosim_lint [--root=<dir>] file...     lint specific files
+ *   cosim_lint [--root=<dir>] --check-all lint src/ tools/ tests/
+ *                                         bench/ examples/
+ *   cosim_lint --fix ...                  rewrite mechanical findings
+ *                                         (header guards, include
+ *                                         style, trailing whitespace)
+ *   cosim_lint --list-rules               print every rule name
+ *
+ * Findings go to stdout as "file:line: rule: message". Exit status: 0
+ * clean, 1 findings (or files --fix could not fully fix), 2 usage/IO
+ * error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/cosim_lint/linter.hh"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+readFile(const fs::path& path, std::string* out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return in.good() || in.eof();
+}
+
+bool
+writeFile(const fs::path& path, const std::string& content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << content;
+    return out.good();
+}
+
+bool
+lintableExtension(const fs::path& path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp";
+}
+
+/** @p path relative to @p root with '/' separators, or the generic
+ * path unchanged when it is not under root. */
+std::string
+relativeTo(const fs::path& root, const fs::path& path)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(path, root, ec);
+    if (ec || rel.empty() || *rel.begin() == "..")
+        return path.generic_string();
+    return rel.generic_string();
+}
+
+struct Options
+{
+    bool fix = false;
+    bool checkAll = false;
+    bool listRules = false;
+    std::string root = ".";
+    std::vector<std::string> files;
+};
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--root=<dir>] [--fix] (--check-all | file...)\n"
+        "       %s --list-rules\n",
+        argv0, argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--fix") {
+            opts.fix = true;
+        } else if (arg == "--check-all") {
+            opts.checkAll = true;
+        } else if (arg == "--list-rules") {
+            opts.listRules = true;
+        } else if (arg.rfind("--root=", 0) == 0) {
+            opts.root = arg.substr(7);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        } else {
+            opts.files.push_back(arg);
+        }
+    }
+
+    if (opts.listRules) {
+        for (const std::string& rule : cosim_lint::allRules())
+            std::printf("%s\n", rule.c_str());
+        return 0;
+    }
+    if (!opts.checkAll && opts.files.empty())
+        return usage(argv[0]);
+
+    const fs::path root(opts.root);
+    std::vector<fs::path> targets;
+    if (opts.checkAll) {
+        static const char* kTrees[] = {"src", "tools", "tests", "bench",
+                                       "examples"};
+        for (const char* tree : kTrees) {
+            fs::path dir = root / tree;
+            if (!fs::exists(dir))
+                continue;
+            for (const auto& entry :
+                 fs::recursive_directory_iterator(dir)) {
+                if (entry.is_regular_file() &&
+                    lintableExtension(entry.path()))
+                    targets.push_back(entry.path());
+            }
+        }
+        std::sort(targets.begin(), targets.end());
+    }
+    for (const std::string& f : opts.files)
+        targets.emplace_back(f);
+
+    int total_findings = 0;
+    int io_errors = 0;
+    std::size_t files_checked = 0;
+    std::size_t files_fixed = 0;
+
+    for (const fs::path& path : targets) {
+        std::string content;
+        if (!readFile(path, &content)) {
+            std::fprintf(stderr, "cosim_lint: cannot read '%s'\n",
+                         path.string().c_str());
+            ++io_errors;
+            continue;
+        }
+        const std::string rel = relativeTo(root, path);
+        const cosim_lint::RuleSet rules = cosim_lint::ruleSetFor(rel);
+        ++files_checked;
+
+        if (opts.fix) {
+            std::string fixed =
+                cosim_lint::fixContent(rel, content, rules);
+            if (fixed != content) {
+                if (!writeFile(path, fixed)) {
+                    std::fprintf(stderr,
+                                 "cosim_lint: cannot write '%s'\n",
+                                 path.string().c_str());
+                    ++io_errors;
+                    continue;
+                }
+                ++files_fixed;
+                content = std::move(fixed);
+            }
+        }
+
+        for (const cosim_lint::Finding& f :
+             cosim_lint::lintContent(rel, content, rules)) {
+            std::printf("%s\n", f.format().c_str());
+            ++total_findings;
+        }
+    }
+
+    if (io_errors > 0)
+        return 2;
+    if (opts.fix)
+        std::fprintf(stderr, "cosim_lint: %zu file(s) checked, %zu "
+                             "fixed, %d finding(s) remain\n",
+                     files_checked, files_fixed, total_findings);
+    else
+        std::fprintf(stderr, "cosim_lint: %zu file(s) checked, %d "
+                             "finding(s)\n",
+                     files_checked, total_findings);
+    return total_findings > 0 ? 1 : 0;
+}
