@@ -27,6 +27,7 @@ rotl(std::uint64_t x, int k)
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
+    : seed_(seed)
 {
     std::uint64_t x = seed;
     for (auto& word : s_)

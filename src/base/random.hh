@@ -4,6 +4,12 @@
  *
  * All synthetic data generation in the workloads is seeded explicitly so
  * that every experiment is bit-for-bit reproducible across runs and hosts.
+ *
+ * cosim::Rng is the only sanctioned randomness source in simulation
+ * code: cosim_lint's no-rand / no-random-device rules reject libc and
+ * <random> entropy there precisely so every random draw can be traced
+ * back to a recorded seed. seed() exposes the construction seed so run
+ * manifests can record the provenance of each experiment.
  */
 
 #ifndef COSIM_BASE_RANDOM_HH
@@ -49,7 +55,11 @@ class Rng
     /** Bernoulli draw with probability @p p. */
     bool nextBool(double p = 0.5);
 
+    /** The seed this generator was constructed from. */
+    std::uint64_t seed() const { return seed_; }
+
   private:
+    std::uint64_t seed_;
     std::uint64_t s_[4];
     bool haveSpareGauss_ = false;
     double spareGauss_ = 0.0;

@@ -85,6 +85,7 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
             opts.scale = 0.05;
         } else if (startsWith(arg, "--seed=")) {
             opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+            opts.seedSource = "cli";
         } else if (startsWith(arg, "--workloads=")) {
             for (const std::string& w : split(arg.substr(12), ',')) {
                 if (!trim(w).empty())

@@ -35,6 +35,8 @@ struct BenchOptions
     /** Input scale; 1.0 reproduces the paper-shaped inputs. */
     double scale = 1.0;
     std::uint64_t seed = 42;
+    /** Where the seed came from: "default" or "cli" (--seed=). */
+    std::string seedSource = "default";
     /** Workload subset (empty = all eight). */
     std::vector<std::string> workloads;
     /** Directory CSV outputs are written into. */

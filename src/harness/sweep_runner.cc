@@ -607,6 +607,7 @@ SweepRunner::runFigure(const std::string& figure_id,
     manifest.nCores = platform.nCores;
     manifest.scale = opts_.scale;
     manifest.seed = opts_.seed;
+    manifest.seedSource = opts_.seedSource;
     manifest.configTicks = ticks;
     manifest.cellMode = toString(opts_.cells);
 

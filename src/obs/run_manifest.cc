@@ -59,6 +59,7 @@ RunManifest::toJson() const
            ", \"cores\": " + json::number(nCores) + "},\n";
     out += "  \"config\": {\"scale\": " + json::number(scale) +
            ", \"seed\": " + json::number(static_cast<double>(seed)) +
+           ", \"seed_source\": " + json::quote(seedSource) +
            ", \"ticks\": " + stringArray(configTicks) + "},\n";
 
     out += "  \"host\": {\"sim_mips\": " + json::number(hostSimMips) +

@@ -63,6 +63,8 @@ struct RunManifest
     unsigned nCores = 0;
     double scale = 1.0;
     std::uint64_t seed = 0;
+    /** Seed provenance ("default", "cli", ...); see base/random.hh. */
+    std::string seedSource = "default";
 
     /** Sweep axis labels, one per emulated configuration. */
     std::vector<std::string> configTicks;

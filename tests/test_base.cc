@@ -106,6 +106,16 @@ TEST(Random, Deterministic)
         EXPECT_EQ(a.next(), b.next());
 }
 
+TEST(Random, RecordsConstructionSeed)
+{
+    Rng rng(123);
+    EXPECT_EQ(rng.seed(), 123u);
+    // Drawing values must not disturb the recorded provenance.
+    rng.next();
+    EXPECT_EQ(rng.seed(), 123u);
+    EXPECT_EQ(Rng().seed(), 0x9e3779b97f4a7c15ull);
+}
+
 TEST(Random, SeedsDiffer)
 {
     Rng a(1);

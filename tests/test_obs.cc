@@ -391,6 +391,7 @@ TEST(RunManifest, JsonRoundTrip)
     m.nCores = 8;
     m.scale = 0.05;
     m.seed = 42;
+    m.seedSource = "cli";
     m.configTicks = {"4MB", "8MB"};
     m.hostSimMips = 33.5;
     m.hostPhases.push_back({"run", 1.25, 8});
@@ -415,6 +416,8 @@ TEST(RunManifest, JsonRoundTrip)
     EXPECT_EQ(doc.find("figure")->str, "Figure 4 (SCMP)");
     EXPECT_DOUBLE_EQ(doc.find("platform")->find("cores")->num, 8.0);
     EXPECT_DOUBLE_EQ(doc.find("config")->find("scale")->num, 0.05);
+    EXPECT_DOUBLE_EQ(doc.find("config")->find("seed")->num, 42.0);
+    EXPECT_EQ(doc.find("config")->find("seed_source")->str, "cli");
     ASSERT_EQ(doc.find("config")->find("ticks")->size(), 2u);
 
     const Value* workloads = doc.find("workloads");
