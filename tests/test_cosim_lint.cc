@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Unit tests for the cosim_lint core: every rule fires on a minimal bad
+ * fixture and stays quiet on the idiomatic equivalent, suppressions work
+ * at line/next-line/file granularity, per-directory rule selection
+ * matches DESIGN.md, and --fix output is correct and idempotent.
+ *
+ * Fixtures are embedded strings linted through the pure lintContent()
+ * entry point, so the tests never touch the file system.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/cosim_lint/linter.hh"
+
+namespace cosim_lint {
+namespace {
+
+/** All findings for @p content linted as @p rel_path. */
+std::vector<Finding>
+lint(const std::string& rel_path, const std::string& content)
+{
+    return lintContent(rel_path, content, ruleSetFor(rel_path));
+}
+
+/** The rule names found, in reporting order. */
+std::vector<std::string>
+rulesHit(const std::string& rel_path, const std::string& content)
+{
+    std::vector<std::string> out;
+    for (const Finding& f : lint(rel_path, content))
+        out.push_back(f.rule);
+    return out;
+}
+
+bool
+hasRule(const std::vector<std::string>& rules, const std::string& rule)
+{
+    return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+// ---------------------------------------------------------------------
+// Determinism rules (simulation directories).
+// ---------------------------------------------------------------------
+
+TEST(CosimLintDeterminism, RandFamilyFlaggedInSimCode)
+{
+    auto rules = rulesHit("src/cache/x.cc",
+                          "int f() { return rand(); }\n");
+    EXPECT_TRUE(hasRule(rules, "no-rand"));
+
+    rules = rulesHit("src/dragonhead/x.cc",
+                     "void g() { srand(1); }\n");
+    EXPECT_TRUE(hasRule(rules, "no-rand"));
+
+    rules = rulesHit("src/mem/x.cc",
+                     "double d = drand48();\n");
+    EXPECT_TRUE(hasRule(rules, "no-rand"));
+
+    // std::rand through the scope operator is still rand.
+    rules = rulesHit("src/trace/x.cc",
+                     "int v = std::rand();\n");
+    EXPECT_TRUE(hasRule(rules, "no-rand"));
+}
+
+TEST(CosimLintDeterminism, IdentifiersContainingRandAreNotFlagged)
+{
+    // Substrings must not match: operand, random-looking member names.
+    auto rules = rulesHit(
+        "src/cache/x.cc",
+        "int operand = 3;\nint myrand(int brand) { return brand; }\n");
+    EXPECT_TRUE(rules.empty());
+}
+
+TEST(CosimLintDeterminism, WallClockFlaggedInSimCode)
+{
+    EXPECT_TRUE(hasRule(rulesHit("src/core/x.cc",
+                                 "long t = time(nullptr);\n"),
+                        "no-time"));
+    EXPECT_TRUE(hasRule(rulesHit("src/softsdv/x.cc",
+                                 "gettimeofday(&tv, nullptr);\n"),
+                        "no-time"));
+    EXPECT_TRUE(hasRule(
+        rulesHit("src/workloads/x.cc",
+                 "auto n = std::chrono::system_clock::now();\n"),
+        "no-system-clock"));
+    // steady_clock is the sanctioned monotonic clock.
+    EXPECT_TRUE(
+        rulesHit("src/workloads/x.cc",
+                 "auto n = std::chrono::steady_clock::now();\n")
+            .empty());
+}
+
+TEST(CosimLintDeterminism, RandomDeviceFlagged)
+{
+    EXPECT_TRUE(hasRule(rulesHit("src/prefetch/x.cc",
+                                 "std::random_device rd;\n"),
+                        "no-random-device"));
+}
+
+TEST(CosimLintDeterminism, UnorderedIterationFlagged)
+{
+    const std::string code =
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, int> table;\n"
+        "int sum() {\n"
+        "    int s = 0;\n"
+        "    for (const auto& kv : table)\n"
+        "        s += kv.second;\n"
+        "    return s;\n"
+        "}\n";
+    auto findings = lint("src/cache/x.cc", code);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "unordered-iteration");
+    EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(CosimLintDeterminism, OrderedIterationNotFlagged)
+{
+    const std::string code =
+        "#include <map>\n"
+        "std::map<int, int> table;\n"
+        "int sum() {\n"
+        "    int s = 0;\n"
+        "    for (const auto& kv : table)\n"
+        "        s += kv.second;\n"
+        "    return s;\n"
+        "}\n";
+    EXPECT_TRUE(lint("src/cache/x.cc", code).empty());
+}
+
+TEST(CosimLintDeterminism, CommentsStringsAndIncludesExempt)
+{
+    // The tokens appear only in prose, literals, or #include lines;
+    // none of them can perturb simulation behaviour.
+    const std::string code =
+        "#include <ctime>\n"
+        "// rand() would break replay here\n"
+        "/* time(nullptr) too */\n"
+        "const char* kMsg = \"called rand()\";\n";
+    EXPECT_TRUE(lint("src/cache/x.cc", code).empty());
+}
+
+TEST(CosimLintDeterminism, NotAppliedOutsideSimDirs)
+{
+    // tests/ and src/harness/ may use wall-clock time freely.
+    EXPECT_TRUE(rulesHit("tests/x.cc", "long t = time(nullptr);\n")
+                    .empty());
+    EXPECT_TRUE(
+        rulesHit("src/harness/x.cc", "long t = time(nullptr);\n")
+            .empty());
+}
+
+// ---------------------------------------------------------------------
+// Library hygiene rules.
+// ---------------------------------------------------------------------
+
+TEST(CosimLintHygiene, RawNewDeleteFlaggedInLibraryCode)
+{
+    EXPECT_TRUE(hasRule(rulesHit("src/obs/x.cc",
+                                 "int* p = new int(3);\n"),
+                        "no-raw-new"));
+    EXPECT_TRUE(hasRule(rulesHit("src/obs/x.cc", "delete ptr;\n"),
+                        "no-raw-delete"));
+}
+
+TEST(CosimLintHygiene, DeletedFunctionsAreNotRawDelete)
+{
+    EXPECT_TRUE(
+        rulesHit("src/obs/x.cc",
+                 "struct S { S(const S&) = delete; };\n")
+            .empty());
+}
+
+TEST(CosimLintHygiene, PrintfFlaggedInLibraryButNotHarness)
+{
+    const std::string code = "void f() { printf(\"x\"); }\n";
+    EXPECT_TRUE(hasRule(rulesHit("src/base/x.cc", code), "no-printf"));
+    EXPECT_TRUE(rulesHit("src/harness/x.cc", code).empty());
+    EXPECT_TRUE(rulesHit("tools/cosim_lint/x.cc", code).empty());
+}
+
+TEST(CosimLintHygiene, SnprintfIsDeterministicFormattingNotOutput)
+{
+    EXPECT_TRUE(
+        rulesHit("src/base/x.cc",
+                 "void f(char* b) { snprintf(b, 8, \"x\"); }\n")
+            .empty());
+}
+
+TEST(CosimLintHygiene, IncludeOfNewHeaderIsNotRawNew)
+{
+    EXPECT_TRUE(rulesHit("src/base/x.cc", "#include <new>\n").empty());
+}
+
+// ---------------------------------------------------------------------
+// Mechanical rules.
+// ---------------------------------------------------------------------
+
+TEST(CosimLintMechanical, HeaderGuardMustBeCanonical)
+{
+    const std::string bad = "#ifndef WRONG_HH\n#define WRONG_HH\n"
+                            "#endif // WRONG_HH\n";
+    auto findings = lint("src/obs/widget.hh", bad);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "header-guard");
+
+    const std::string good =
+        "#ifndef COSIM_OBS_WIDGET_HH\n#define COSIM_OBS_WIDGET_HH\n"
+        "#endif // COSIM_OBS_WIDGET_HH\n";
+    EXPECT_TRUE(lint("src/obs/widget.hh", good).empty());
+}
+
+TEST(CosimLintMechanical, CanonicalGuardDropsSrcKeepsOtherTrees)
+{
+    EXPECT_EQ(canonicalGuard("src/obs/json.hh"), "COSIM_OBS_JSON_HH");
+    EXPECT_EQ(canonicalGuard("tests/test_util.hh"),
+              "COSIM_TESTS_TEST_UTIL_HH");
+    EXPECT_EQ(canonicalGuard("tools/cosim_lint/linter.hh"),
+              "COSIM_TOOLS_COSIM_LINT_LINTER_HH");
+}
+
+TEST(CosimLintMechanical, ProjectIncludesUseQuotes)
+{
+    EXPECT_TRUE(hasRule(rulesHit("src/mem/x.cc",
+                                 "#include <cache/cache.hh>\n"),
+                        "include-hygiene"));
+    EXPECT_TRUE(hasRule(rulesHit("src/mem/x.cc",
+                                 "#include \"../cache/cache.hh\"\n"),
+                        "include-hygiene"));
+    // System and project-quoted includes are fine.
+    EXPECT_TRUE(rulesHit("src/mem/x.cc",
+                         "#include <vector>\n"
+                         "#include \"cache/cache.hh\"\n")
+                    .empty());
+}
+
+TEST(CosimLintMechanical, TrailingWhitespaceFlagged)
+{
+    auto findings = lint("src/mem/x.cc", "int x;  \nint y;\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "trailing-whitespace");
+    EXPECT_EQ(findings[0].line, 1);
+}
+
+// ---------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------
+
+TEST(CosimLintSuppression, SameLineAllow)
+{
+    EXPECT_TRUE(
+        lint("src/cache/x.cc",
+             "long t = time(nullptr); // cosim-lint: allow(no-time)\n")
+            .empty());
+}
+
+TEST(CosimLintSuppression, PrecedingLineAllow)
+{
+    EXPECT_TRUE(lint("src/cache/x.cc",
+                     "// cosim-lint: allow(no-time)\n"
+                     "long t = time(nullptr);\n")
+                    .empty());
+}
+
+TEST(CosimLintSuppression, AllowDoesNotLeakToLaterLines)
+{
+    auto findings = lint("src/cache/x.cc",
+                         "// cosim-lint: allow(no-time)\n"
+                         "long t = time(nullptr);\n"
+                         "long u = time(nullptr);\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(CosimLintSuppression, AllowIsRuleSpecific)
+{
+    // allow(no-rand) must not silence the no-time finding.
+    auto rules = rulesHit(
+        "src/cache/x.cc",
+        "long t = time(nullptr); // cosim-lint: allow(no-rand)\n");
+    EXPECT_TRUE(hasRule(rules, "no-time"));
+}
+
+TEST(CosimLintSuppression, AllowFileCoversWholeFile)
+{
+    EXPECT_TRUE(lint("src/cache/x.cc",
+                     "// cosim-lint: allow-file(no-time)\n"
+                     "long t = time(nullptr);\n"
+                     "long u = time(nullptr);\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------------
+// Rule-set selection.
+// ---------------------------------------------------------------------
+
+TEST(CosimLintRuleSets, SimulationDirsGetDeterminism)
+{
+    for (const char* dir : {"softsdv", "dragonhead", "cache", "mem",
+                            "trace", "core", "workloads", "prefetch"}) {
+        RuleSet rules =
+            ruleSetFor(std::string("src/") + dir + "/x.cc");
+        EXPECT_TRUE(rules.determinism) << dir;
+        EXPECT_TRUE(rules.noRawNewDelete) << dir;
+    }
+}
+
+TEST(CosimLintRuleSets, BaseAndObsAreLibraryNotSimulation)
+{
+    // base/ and obs/ host the timing/profiling utilities, so wall-clock
+    // reads are legitimate there; library hygiene still applies.
+    for (const char* path : {"src/base/x.cc", "src/obs/x.cc"}) {
+        RuleSet rules = ruleSetFor(path);
+        EXPECT_FALSE(rules.determinism) << path;
+        EXPECT_TRUE(rules.noRawNewDelete) << path;
+        EXPECT_TRUE(rules.noPrintf) << path;
+    }
+}
+
+TEST(CosimLintRuleSets, HarnessAndNonSrcTreesAreMechanicalOnly)
+{
+    for (const char* path :
+         {"src/harness/x.cc", "tests/x.cc", "bench/x.cc",
+          "examples/x.cc", "tools/cosim_lint/x.cc"}) {
+        RuleSet rules = ruleSetFor(path);
+        EXPECT_FALSE(rules.determinism) << path;
+        EXPECT_FALSE(rules.noPrintf) << path;
+        EXPECT_TRUE(rules.headerGuard) << path;
+        EXPECT_TRUE(rules.trailingWhitespace) << path;
+    }
+}
+
+TEST(CosimLintRuleSets, AllRulesListsEveryRule)
+{
+    auto all = allRules();
+    for (const char* rule :
+         {"no-rand", "no-time", "no-system-clock", "no-random-device",
+          "unordered-iteration", "no-raw-new", "no-raw-delete",
+          "no-printf", "header-guard", "include-hygiene",
+          "trailing-whitespace"}) {
+        EXPECT_TRUE(hasRule(all, rule)) << rule;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fixing.
+// ---------------------------------------------------------------------
+
+TEST(CosimLintFix, RewritesGuardIncludesAndWhitespace)
+{
+    const std::string before = "#ifndef WRONG_HH\n"
+                               "#define WRONG_HH\n"
+                               "#include <cache/cache.hh>\n"
+                               "int x;  \n"
+                               "#endif // WRONG_HH\n";
+    const RuleSet rules = ruleSetFor("src/cache/probe.hh");
+    const std::string after =
+        fixContent("src/cache/probe.hh", before, rules);
+    EXPECT_EQ(after, "#ifndef COSIM_CACHE_PROBE_HH\n"
+                     "#define COSIM_CACHE_PROBE_HH\n"
+                     "#include \"cache/cache.hh\"\n"
+                     "int x;\n"
+                     "#endif // COSIM_CACHE_PROBE_HH\n");
+    EXPECT_TRUE(lint("src/cache/probe.hh", after).empty());
+}
+
+TEST(CosimLintFix, IsIdempotent)
+{
+    const std::string before = "#ifndef WRONG_HH\n"
+                               "#define WRONG_HH\n"
+                               "#include <mem/dram.hh>\n"
+                               "#endif\n";
+    const RuleSet rules = ruleSetFor("src/mem/probe.hh");
+    const std::string once =
+        fixContent("src/mem/probe.hh", before, rules);
+    EXPECT_EQ(fixContent("src/mem/probe.hh", once, rules), once);
+}
+
+TEST(CosimLintFix, DoesNotTouchNonMechanicalFindings)
+{
+    const std::string before = "long t = time(nullptr);\n";
+    const RuleSet rules = ruleSetFor("src/cache/x.cc");
+    EXPECT_EQ(fixContent("src/cache/x.cc", before, rules), before);
+}
+
+TEST(CosimLintFindings, FormatIsFileLineRuleMessage)
+{
+    auto findings = lint("src/cache/x.cc", "int v = rand();\n");
+    ASSERT_EQ(findings.size(), 1u);
+    const std::string text = findings[0].format();
+    EXPECT_EQ(text.rfind("src/cache/x.cc:1: no-rand: ", 0), 0u) << text;
+}
+
+} // namespace
+} // namespace cosim_lint
