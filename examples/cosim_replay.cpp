@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "base/atomic_file.hh"
 #include "base/str.hh"
 #include "base/units.hh"
 #include "core/experiment.hh"
@@ -254,7 +255,12 @@ cmdUpdateGolden(const std::string& golden_path,
                      error.c_str());
         return 1;
     }
-    fresh.writeFile(golden_path);
+    try {
+        fresh.writeFile(golden_path);
+    } catch (const IoError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
     std::printf("updated %s (%zu workloads)\n", golden_path.c_str(),
                 fresh.entries.size());
     return 0;

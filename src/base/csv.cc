@@ -6,10 +6,30 @@
 
 namespace cosim {
 
-CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path)
+CsvWriter::CsvWriter(const std::string& path)
+try : path_(path), file_(path)
 {
-    fatal_if(!out_.is_open(), "cannot open CSV output file '%s'",
-             path.c_str());
+} catch (const IoError& e) {
+    // fatal() exits; the implicit rethrow after it is unreachable.
+    fatal("csv: %s", e.what());
+}
+
+CsvWriter::~CsvWriter()
+{
+    close();
+}
+
+void
+CsvWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    try {
+        file_.commit();
+    } catch (const IoError& e) {
+        fatal("csv: %s", e.what());
+    }
 }
 
 std::string
@@ -33,10 +53,10 @@ CsvWriter::writeRow(const std::vector<std::string>& fields)
 {
     for (std::size_t i = 0; i < fields.size(); ++i) {
         if (i > 0)
-            out_ << ',';
-        out_ << escape(fields[i]);
+            file_.stream() << ',';
+        file_.stream() << escape(fields[i]);
     }
-    out_ << '\n';
+    file_.stream() << '\n';
 }
 
 void

@@ -1,26 +1,38 @@
 /**
  * @file
  * Minimal CSV writer used by the bench harness to persist figure series.
+ *
+ * Rows stream into an AtomicFile (write-temp + rename), so a crash or
+ * full disk mid-figure never leaves a truncated CSV that looks
+ * complete: the file appears whole at close() or not at all.
  */
 
 #ifndef COSIM_BASE_CSV_HH
 #define COSIM_BASE_CSV_HH
 
-#include <fstream>
 #include <string>
 #include <vector>
+
+#include "base/atomic_file.hh"
 
 namespace cosim {
 
 /**
  * Streams rows of string/numeric fields to a CSV file, quoting fields
- * that contain separators. The file is flushed on destruction.
+ * that contain separators. The file is committed on close() (or
+ * destruction); write errors are fatal(), naming the path.
  */
 class CsvWriter
 {
   public:
     /** Open @p path for writing; fatal() if the file cannot be created. */
     explicit CsvWriter(const std::string& path);
+
+    /** close()s; fatal() if the commit fails. */
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter&) = delete;
+    CsvWriter& operator=(const CsvWriter&) = delete;
 
     /** Write a header or data row of raw string fields. */
     void writeRow(const std::vector<std::string>& fields);
@@ -29,13 +41,17 @@ class CsvWriter
     void writeNumericRow(const std::string& key,
                          const std::vector<double>& values);
 
+    /** Flush and atomically publish the file. Idempotent. */
+    void close();
+
     const std::string& path() const { return path_; }
 
   private:
     static std::string escape(const std::string& field);
 
     std::string path_;
-    std::ofstream out_;
+    AtomicFile file_;
+    bool closed_ = false;
 };
 
 } // namespace cosim

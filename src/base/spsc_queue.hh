@@ -17,6 +17,12 @@
  *
  * Contract: exactly one producer thread calls push()/close() and exactly
  * one consumer thread calls pop(). Capacity is fixed at construction.
+ *
+ * A consumer that dies (worker thread caught an exception) calls
+ * poison(): this wakes and permanently fails the producer-side wait in
+ * push(), so a dead worker can never deadlock the workload thread
+ * against a full queue. The producer then reclaims undelivered items
+ * with drainNow() if it wants to process them elsewhere.
  */
 
 #ifndef COSIM_BASE_SPSC_QUEUE_HH
@@ -25,6 +31,7 @@
 #include <cstddef>
 #include <deque>
 #include <utility>
+#include <vector>
 
 #include "base/annotations.hh"
 #include "base/mutex.hh"
@@ -40,33 +47,41 @@ class SpscQueue
         : capacity_(capacity == 0 ? 1 : capacity)
     {}
 
-    /** Blocks while the queue is full (backpressure). */
-    void
+    /**
+     * Blocks while the queue is full (backpressure). @return false
+     * without enqueueing when the queue is poisoned -- the wait loop
+     * observes the poison flag, so a dead consumer cannot strand a
+     * producer blocked on a full queue.
+     */
+    bool
     push(T item)
     {
         {
             LockGuard lock(mutex_);
-            while (items_.size() >= capacity_)
+            while (items_.size() >= capacity_ && !poisoned_)
                 notFull_.wait(lock);
+            if (poisoned_)
+                return false;
             items_.push_back(std::move(item));
             if (items_.size() > peakDepth_)
                 peakDepth_ = items_.size();
         }
         notEmpty_.notifyOne();
+        return true;
     }
 
     /**
      * Blocks until an item is available or the queue is closed and
-     * drained. @return false only on closed-and-drained.
+     * drained. @return false on closed-and-drained or poisoned.
      */
     bool
     pop(T& out)
     {
         {
             LockGuard lock(mutex_);
-            while (!closed_ && items_.empty())
+            while (!closed_ && !poisoned_ && items_.empty())
                 notEmpty_.wait(lock);
-            if (items_.empty())
+            if (poisoned_ || items_.empty())
                 return false;
             out = std::move(items_.front());
             items_.pop_front();
@@ -84,6 +99,45 @@ class SpscQueue
             closed_ = true;
         }
         notEmpty_.notifyAll();
+    }
+
+    /**
+     * Consumer side, on fatal failure: permanently fail both ends.
+     * push() returns false, pop() returns false, all waiters wake.
+     */
+    void
+    poison()
+    {
+        {
+            LockGuard lock(mutex_);
+            poisoned_ = true;
+        }
+        notFull_.notifyAll();
+        notEmpty_.notifyAll();
+    }
+
+    bool
+    poisoned() const
+    {
+        LockGuard lock(mutex_);
+        return poisoned_;
+    }
+
+    /**
+     * Move out everything still queued (poisoned or not). Used by the
+     * producer to reclaim undelivered items after observing poison.
+     */
+    std::vector<T>
+    drainNow()
+    {
+        LockGuard lock(mutex_);
+        std::vector<T> out;
+        out.reserve(items_.size());
+        while (!items_.empty()) {
+            out.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        return out;
     }
 
     std::size_t
@@ -118,6 +172,7 @@ class SpscQueue
     const std::size_t capacity_;
     std::size_t peakDepth_ GUARDED_BY(mutex_) = 0;
     bool closed_ GUARDED_BY(mutex_) = false;
+    bool poisoned_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace cosim

@@ -1,6 +1,7 @@
 #include "core/cosim.hh"
 
 #include <chrono>
+#include <stdexcept>
 
 #include "base/logging.hh"
 #include "obs/host_profiler.hh"
@@ -27,6 +28,7 @@ CoSimulation::CoSimulation(const CoSimParams& params)
         bp.nThreads = params.emulationThreads;
         bp.chunkTxns = params.fsbBatchTxns > 0 ? params.fsbBatchTxns
                                                : kDefaultBatchTxns;
+        bp.degradeToSerial = params.degradeToSerial;
         bank_ = std::make_unique<AsyncEmulatorBank>(bp);
         platform_.fsb().attach(bank_.get());
         // Batch the bus itself so the bank receives whole chunks instead
@@ -98,8 +100,13 @@ CoSimulation::finishReplay(const ReplayResult& rr,
                            const std::string& source,
                            ReplayResult* details)
 {
-    fatal_if(!rr.ok, "cannot replay FSB stream (%s): %s", source.c_str(),
-             rr.error.c_str());
+    // Throw rather than fatal(): a sweep cell replaying a corrupt
+    // stream is isolatable under --keep-going; standalone callers get
+    // a clean fatal from their own catch (see the header contract).
+    if (!rr.ok) {
+        throw std::runtime_error("cannot replay FSB stream (" + source +
+                                 "): " + rr.error);
+    }
 
     RunResult result;
     result.hostSeconds = rr.seconds;

@@ -54,6 +54,13 @@ struct CoSimParams
      * amortizes the per-transaction virtual snooper dispatch.
      */
     std::size_t fsbBatchTxns = 0;
+
+    /**
+     * Parallel mode: when an emulation worker dies, fall back to
+     * serial emulation of its emulators on the workload thread
+     * instead of failing the run (EmulatorBankParams::degradeToSerial).
+     */
+    bool degradeToSerial = false;
 };
 
 /** See file comment. */
@@ -83,8 +90,10 @@ class CoSimulation
      * bit-identical to the run that was captured. The returned result
      * carries the captured run's totalInsts/verified plus a
      * `replayedFrom` provenance tag; CPU-side counters stay zero.
-     * fatal() on an unreadable or corrupt stream. @p details (optional)
-     * receives the replay's stream statistics.
+     * @throws std::runtime_error on an unreadable or corrupt stream,
+     * so a sweep cell replaying a bad capture can be isolated instead
+     * of killing the whole run. @p details (optional) receives the
+     * replay's stream statistics.
      */
     RunResult replayFile(const std::string& path,
                          ReplayResult* details = nullptr);

@@ -1,6 +1,8 @@
 #include "core/emulator_bank.hh"
 
+#include "base/fault.hh"
 #include "base/logging.hh"
+#include "obs/host_profiler.hh"
 
 namespace cosim {
 
@@ -29,7 +31,10 @@ AsyncEmulatorBank::AsyncEmulatorBank(const EmulatorBankParams& params)
         LockGuard lock(syncMutex_);
         stats_.resize(n_emus);
         chunksDone_.resize(n_threads, 0);
+        workerFailed_.resize(n_threads, 0);
+        failedChunks_.resize(n_threads);
     }
+    degraded_.resize(n_threads, 0);
 
     workers_.reserve(n_threads);
     for (unsigned w = 0; w < n_threads; ++w)
@@ -47,8 +52,14 @@ AsyncEmulatorBank::~AsyncEmulatorBank()
 {
     // Deliver anything still buffered so a bank that is destroyed without
     // an explicit sync() leaves its emulators in the same state serial
-    // snooping would have.
-    publishPending();
+    // snooping would have. Never let an exception escape the dtor: a
+    // failed bank must still join its threads.
+    try {
+        publishPending();
+    } catch (const std::exception& e) {
+        warn("emulator bank teardown dropped pending chunk: %s",
+             e.what());
+    }
     for (auto& worker : workers_)
         worker->queue.close();
     for (auto& worker : workers_)
@@ -80,16 +91,88 @@ AsyncEmulatorBank::publishPending()
         std::move(pending_));
     pending_ = {};
     pending_.reserve(params_.chunkTxns);
-    for (auto& worker : workers_) {
-        worker->queue.push(chunk);
-        ++worker->chunksPushed;
+    for (unsigned w = 0; w < workers_.size(); ++w) {
+        Worker& worker = *workers_[w];
+        if (degraded_[w]) {
+            emulateInline(w, chunk);
+            continue;
+        }
+        // A false return means the worker poisoned its queue (died);
+        // the poison-aware wait is what keeps a full queue from
+        // deadlocking this thread against a dead consumer.
+        if (worker.queue.push(chunk))
+            ++worker.chunksPushed;
+        else
+            handleDeadWorker(w, chunk);
     }
+}
+
+void
+AsyncEmulatorBank::emulateInline(unsigned w, const Chunk& chunk)
+{
+    Worker& worker = *workers_[w];
+    const std::vector<BusTransaction>& txns = *chunk;
+    for (unsigned idx : worker.emulators) {
+        Dragonhead& emu = *emulators_[idx];
+        for (const BusTransaction& txn : txns)
+            emu.observe(txn);
+    }
+    LockGuard lock(syncMutex_);
+    for (unsigned idx : worker.emulators) {
+        ++stats_[idx].batches;
+        stats_[idx].txns += txns.size();
+    }
+}
+
+void
+AsyncEmulatorBank::handleDeadWorker(unsigned w, const Chunk& chunk)
+{
+    if (!params_.degradeToSerial) {
+        // Drop the chunk for this worker; the recorded exception
+        // surfaces at the next sync(), which is what fails the run.
+        return;
+    }
+    takeOverWorker(w);
+    emulateInline(w, chunk);
+}
+
+void
+AsyncEmulatorBank::takeOverWorker(unsigned w)
+{
+    Worker& worker = *workers_[w];
+    Chunk failed;
+    std::string what;
+    {
+        LockGuard lock(syncMutex_);
+        failed = failedChunks_[w];
+        failedChunks_[w] = nullptr;
+        what = workerErrorText_;
+    }
+    warn("emulation worker %u died (%s); degrading its %zu "
+         "emulator(s) to serial emulation on the workload thread",
+         w, what.c_str(), worker.emulators.size());
+    if (failed) {
+        // The worker died before touching this chunk, so re-running it
+        // here keeps results bit-identical to serial snooping.
+        emulateInline(w, failed);
+    } else {
+        warn("worker %u died mid-chunk; its emulators may have "
+             "partially observed a chunk (results tainted)", w);
+    }
+    for (Chunk& c : worker.queue.drainNow())
+        emulateInline(w, c);
+    degraded_[w] = 1;
+    obs::HostProfiler::global().noteDegradedToSerial(1);
 }
 
 bool
 AsyncEmulatorBank::drained() const
 {
     for (std::size_t w = 0; w < workers_.size(); ++w) {
+        // A dead worker never catches up; its chunks were either
+        // dropped (error path) or emulated inline (degrade path).
+        if (workerFailed_[w])
+            continue;
         // chunksPushed is producer-private; sync() runs on the producer.
         if (chunksDone_[w] != workers_[w]->chunksPushed)
             return false;
@@ -101,9 +184,32 @@ void
 AsyncEmulatorBank::sync()
 {
     publishPending();
-    LockGuard lock(syncMutex_);
-    while (!drained())
-        syncCv_.wait(lock);
+    std::exception_ptr err;
+    {
+        LockGuard lock(syncMutex_);
+        while (!drained())
+            syncCv_.wait(lock);
+        err = workerError_;
+    }
+    if (!err)
+        return;
+    if (params_.degradeToSerial) {
+        // Adopt any failed worker the producer has not pushed to since
+        // the death (sync() may be the first to observe it).
+        for (unsigned w = 0; w < workers_.size(); ++w) {
+            bool dead = false;
+            {
+                LockGuard lock(syncMutex_);
+                dead = workerFailed_[w] != 0;
+            }
+            if (dead && !degraded_[w]) {
+                takeOverWorker(w);
+                degraded_[w] = 1;
+            }
+        }
+        return;
+    }
+    std::rethrow_exception(err);
 }
 
 void
@@ -155,29 +261,78 @@ AsyncEmulatorBank::queuePeak(unsigned i) const
     return workers_[i % workers_.size()]->queue.peakDepth();
 }
 
+unsigned
+AsyncEmulatorBank::failedWorkers() const
+{
+    LockGuard lock(syncMutex_);
+    unsigned n = 0;
+    for (unsigned char failed : workerFailed_)
+        n += failed != 0;
+    return n;
+}
+
+unsigned
+AsyncEmulatorBank::degradedWorkers() const
+{
+    unsigned n = 0;
+    for (unsigned char degraded : degraded_)
+        n += degraded != 0;
+    return n;
+}
+
 void
 AsyncEmulatorBank::workerLoop(unsigned w)
 {
     Worker& worker = *workers_[w];
     Chunk chunk;
     while (worker.queue.pop(chunk)) {
-        const std::vector<BusTransaction>& txns = *chunk;
-        for (unsigned idx : worker.emulators) {
-            Dragonhead& emu = *emulators_[idx];
-            for (const BusTransaction& txn : txns)
-                emu.observe(txn);
-        }
-        const std::size_t n_txns = txns.size();
-        chunk.reset();
-        {
-            LockGuard lock(syncMutex_);
+        // Set once emulator state may have changed: a chunk that died
+        // before this point is clean and can be re-run elsewhere.
+        bool touched = false;
+        try {
+            COSIM_FAULT_POINT("emu.worker.crash");
+            const std::vector<BusTransaction>& txns = *chunk;
+            touched = true;
             for (unsigned idx : worker.emulators) {
-                ++stats_[idx].batches;
-                stats_[idx].txns += n_txns;
+                Dragonhead& emu = *emulators_[idx];
+                for (const BusTransaction& txn : txns)
+                    emu.observe(txn);
             }
-            ++chunksDone_[w];
+            const std::size_t n_txns = txns.size();
+            {
+                LockGuard lock(syncMutex_);
+                for (unsigned idx : worker.emulators) {
+                    ++stats_[idx].batches;
+                    stats_[idx].txns += n_txns;
+                }
+                ++chunksDone_[w];
+            }
+            chunk.reset();
+            syncCv_.notifyAll();
+        } catch (...) {
+            const std::exception_ptr err = std::current_exception();
+            std::string what = "unknown exception";
+            try {
+                std::rethrow_exception(err);
+            } catch (const std::exception& e) {
+                what = e.what();
+            } catch (...) {
+            }
+            {
+                LockGuard lock(syncMutex_);
+                if (!workerError_) {
+                    workerError_ = err;
+                    workerErrorText_ = what;
+                }
+                workerFailed_[w] = 1;
+                failedChunks_[w] = touched ? nullptr : chunk;
+            }
+            // Unblock a producer waiting on a full queue and a sync()
+            // waiting on chunksDone_ -- this worker will never catch up.
+            worker.queue.poison();
+            syncCv_.notifyAll();
+            return;
         }
-        syncCv_.notifyAll();
     }
 }
 

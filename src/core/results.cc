@@ -1,5 +1,7 @@
 #include "core/results.hh"
 
+#include <cstdio>
+
 #include "base/csv.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
@@ -29,6 +31,37 @@ FigureData::addSeries(const std::string& workload,
         names_.push_back(workload);
     series_[workload] = values;
     points_[workload] = std::move(points);
+    if (status_.find(workload) == status_.end())
+        status_[workload] = "ok";
+}
+
+void
+FigureData::addFailedSeries(const std::string& workload,
+                            const std::string& status)
+{
+    if (series_.find(workload) == series_.end())
+        names_.push_back(workload);
+    series_[workload] = {};
+    points_[workload] = {};
+    status_[workload] = status;
+}
+
+const std::string&
+FigureData::status(const std::string& workload) const
+{
+    static const std::string kOk = "ok";
+    auto it = status_.find(workload);
+    return it == status_.end() ? kOk : it->second;
+}
+
+void
+FigureData::setStatus(const std::string& workload,
+                      const std::string& status)
+{
+    fatal_if(series_.find(workload) == series_.end(),
+             "%s: no series for workload '%s'", figureId_.c_str(),
+             workload.c_str());
+    status_[workload] = status;
 }
 
 const std::vector<double>&
@@ -62,8 +95,16 @@ FigureData::render(const std::string& value_label) const
     for (const auto& name : names_) {
         std::vector<std::string> row;
         row.push_back(name);
-        for (double v : series_.at(name))
-            row.push_back(formatFixed(v, 3));
+        const std::vector<double>& values = series_.at(name);
+        if (values.empty()) {
+            // A failed cell keeps its row; "-" placeholders make the
+            // hole visible instead of faking zeros.
+            for (std::size_t i = 0; i < xTicks_.size(); ++i)
+                row.push_back("-");
+        } else {
+            for (double v : values)
+                row.push_back(formatFixed(v, 3));
+        }
         table.addRow(row);
     }
     return table.renderAscii();
@@ -77,9 +118,24 @@ FigureData::writeCsv(const std::string& path) const
     header.push_back("workload");
     for (const auto& tick : xTicks_)
         header.push_back(tick);
+    header.push_back("status");
     csv.writeRow(header);
-    for (const auto& name : names_)
-        csv.writeNumericRow(name, series_.at(name));
+    for (const auto& name : names_) {
+        std::vector<std::string> row;
+        row.push_back(name);
+        const std::vector<double>& values = series_.at(name);
+        for (double v : values) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.10g", v);
+            row.emplace_back(buf);
+        }
+        // A failed series is empty: pad so every row has a field per
+        // tick and the status lands in the status column.
+        for (std::size_t i = values.size(); i < xTicks_.size(); ++i)
+            row.emplace_back("");
+        row.push_back(status(name));
+        csv.writeRow(row);
+    }
 }
 
 } // namespace cosim

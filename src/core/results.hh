@@ -50,6 +50,14 @@ class FigureData
                    const std::vector<double>& values,
                    std::vector<SweepPoint> points = {});
 
+    /**
+     * Record a workload whose sweep cell failed (see --keep-going):
+     * it keeps its figure row, rendered with "-" placeholders and an
+     * empty CSV row, tagged with @p status ("failed").
+     */
+    void addFailedSeries(const std::string& workload,
+                         const std::string& status = "failed");
+
     const std::string& figureId() const { return figureId_; }
     const std::vector<std::string>& xTicks() const { return xTicks_; }
     const std::vector<std::string>& seriesNames() const { return names_; }
@@ -57,10 +65,20 @@ class FigureData
     const std::vector<SweepPoint>& points(const std::string& workload)
         const;
 
+    /** Cell outcome for @p workload: "ok", "retried", or "failed". */
+    const std::string& status(const std::string& workload) const;
+
+    /** Override the recorded outcome (e.g. "retried") of a series. */
+    void setStatus(const std::string& workload, const std::string& status);
+
     /** Paper-style printout: one row per workload, one column per tick. */
     std::string render(const std::string& value_label) const;
 
-    /** Persist to CSV (one row per workload). */
+    /**
+     * Persist to CSV: one row per workload, plus a trailing "status"
+     * column so downstream tooling can tell a failed cell's empty row
+     * from a real zero.
+     */
     void writeCsv(const std::string& path) const;
 
   private:
@@ -70,6 +88,7 @@ class FigureData
     std::vector<std::string> names_;
     std::map<std::string, std::vector<double>> series_;
     std::map<std::string, std::vector<SweepPoint>> points_;
+    std::map<std::string, std::string> status_;
 };
 
 } // namespace cosim

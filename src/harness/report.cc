@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <sys/types.h>
 
+#include "base/fault.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "workloads/workload_factory.hh"
@@ -74,7 +75,17 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
                 "  --replay=<base>  replay recorded streams instead of "
                 "executing the guest\n"
                 "  --digest=<file>  write per-workload FSB stream "
-                "digests (golden-baseline format)\n",
+                "digests (golden-baseline format)\n"
+                "  --faults=<spec>  arm a deterministic fault plan "
+                "(site:nth=K or site:p=X, comma-separated)\n"
+                "  --keep-going     finish the sweep despite failed "
+                "cells (recorded with status \"failed\")\n"
+                "  --retry-cells=<n> retry a failed cell up to n extra "
+                "times (default 0)\n"
+                "  --cell-timeout=<s> mark a cell failed after s "
+                "wall-clock seconds (default off)\n"
+                "  --degrade-serial adopt a dead emulation worker's "
+                "Dragonheads onto the workload thread\n",
                 bench_description.c_str());
             std::exit(0);
         } else if (startsWith(arg, "--scale=")) {
@@ -134,6 +145,20 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
         } else if (startsWith(arg, "--digest=")) {
             opts.digestFile = arg.substr(9);
             fatal_if(opts.digestFile.empty(), "--digest needs a file path");
+        } else if (startsWith(arg, "--faults=")) {
+            opts.faults = arg.substr(9);
+            fatal_if(opts.faults.empty(), "--faults needs a fault spec");
+        } else if (arg == "--keep-going") {
+            opts.keepGoing = true;
+        } else if (startsWith(arg, "--retry-cells=")) {
+            opts.retryCells = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 14, nullptr, 10));
+        } else if (startsWith(arg, "--cell-timeout=")) {
+            opts.cellTimeout = std::strtod(arg.c_str() + 15, nullptr);
+            fatal_if(opts.cellTimeout <= 0.0,
+                     "bad --cell-timeout value '%s'", arg.c_str());
+        } else if (arg == "--degrade-serial") {
+            opts.degradeSerial = true;
         } else {
             fatal("unknown option '%s' (try --help)", arg.c_str());
         }
@@ -148,6 +173,18 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
     fatal_if(opts.cells == CellMode::Exec && !opts.replayBase.empty(),
              "--cells=exec executes the guest per cell; it cannot "
              "consume --replay streams");
+    if (!opts.faults.empty()) {
+        // Arm here so every bench binary gets fault injection without
+        // per-main plumbing; the plan inherits the run seed so the
+        // injected failure schedule replays with the experiment.
+        FaultPlan plan;
+        plan.seed = opts.seed;
+        std::string error;
+        fatal_if(!FaultPlan::parse(opts.faults, &plan, &error),
+                 "bad --faults spec: %s", error.c_str());
+        plan.seed = opts.seed;
+        FaultInjector::global().arm(plan);
+    }
     return opts;
 }
 
@@ -181,6 +218,9 @@ printBanner(const std::string& title, const BenchOptions& opts)
         std::printf("capture=%s.<workload>.fsb\n", opts.captureBase.c_str());
     if (!opts.replayBase.empty())
         std::printf("replay=%s.<workload>.fsb\n", opts.replayBase.c_str());
+    if (!opts.faults.empty())
+        std::printf("faults=%s (seed %llu)\n", opts.faults.c_str(),
+                    static_cast<unsigned long long>(opts.seed));
     std::printf("\n");
 }
 

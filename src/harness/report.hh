@@ -65,6 +65,21 @@ struct BenchOptions
     /** Write a per-workload stream-digest manifest to this path. */
     std::string digestFile;
     /** @} */
+
+    /** @name Robustness / fault injection @{ */
+    /** Finish the sweep even when cells fail (they stay in run.json
+     * and the CSV with status "failed"). */
+    bool keepGoing = false;
+    /** Re-run a failed cell up to this many extra times. */
+    unsigned retryCells = 0;
+    /** Mark a cell failed when it exceeds this many wall-clock
+     * seconds (0 = no watchdog). */
+    double cellTimeout = 0.0;
+    /** Armed fault plan spec ("site:nth=K,..."); empty = none. */
+    std::string faults;
+    /** Degrade dead emulation workers to serial instead of failing. */
+    bool degradeSerial = false;
+    /** @} */
 };
 
 /**
@@ -88,8 +103,16 @@ std::string fsbStreamPath(const std::string& base,
  *   --manifest=<f>   run manifest path (default <out>/run.json)
  *   --jobs=<n>       run up to n sweep cells on parallel host threads
  *   --emu-threads=<n> emulate Dragonheads on n worker threads per rig
+ *   --faults=<spec>  arm a fault plan (site:nth=K / site:p=X, comma-
+ *                    separated; see base/fault.hh)
+ *   --keep-going     finish the sweep despite failed cells
+ *   --retry-cells=<n> retry a failed cell up to n times
+ *   --cell-timeout=<s> mark cells failed after s wall-clock seconds
+ *   --degrade-serial adopt dead emulation workers onto the workload
+ *                    thread instead of failing the run
  *   --help           print usage (and exit 0)
- * Unknown flags are fatal.
+ * Unknown flags are fatal. A --faults plan is parsed, seeded with the
+ * run seed, and armed in the global FaultInjector before returning.
  */
 BenchOptions parseBenchArgs(int argc, char** argv,
                             const std::string& bench_description);

@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <future>
 #include <memory>
+#include <stdexcept>
+#include <thread>
 
+#include "base/fault.hh"
 #include "base/logging.hh"
+#include "base/str.hh"
 #include "base/thread_pool.hh"
 #include "base/units.hh"
 #include "obs/host_profiler.hh"
@@ -26,6 +31,10 @@ struct CellOutput
     obs::ManifestWorkload mw;
     std::vector<double> series;
     std::vector<SweepPoint> points;
+
+    /** Cell outcome: true when every attempt failed. The manifest
+     * entry (mw.status / mw.attempts / mw.error) carries the detail. */
+    bool failed = false;
 
     /** Times the guest executed to produce this output. */
     std::uint64_t guestExecutions = 0;
@@ -164,6 +173,71 @@ warnStreamWorkload(const FsbStreamMeta& meta, const std::string& source,
 }
 
 /**
+ * Run one sweep cell behind the failure-isolation boundary:
+ *
+ *  - retries: @p attempt runs up to opts.retryCells + 1 times; the
+ *    attempt number is passed in so callers can rebuild a poisoned rig
+ *  - fault points: "cell.throw" (throws FaultInjected) and "cell.hang"
+ *    (naps past the watchdog) fire here, inside the guarded window
+ *  - watchdog: with --cell-timeout, an attempt whose wall-clock
+ *    exceeds the budget is marked failed. The check is cooperative
+ *    (post-hoc), matching the repo's no-detached-threads rule: a cell
+ *    stuck in a non-returning syscall still needs an external kill,
+ *    but every in-simulator stall is caught on completion
+ *  - stats hygiene: a failed attempt's @p stats_prefix namespace is
+ *    dropped from the global registry, so run artifacts never carry a
+ *    half-populated cell
+ *
+ * Success after a retry reports status "retried"; exhausted attempts
+ * report a CellOutput with failed=true and the last error recorded.
+ */
+CellOutput
+runGuardedCell(const std::string& label, const std::string& stats_prefix,
+               const BenchOptions& opts,
+               const std::function<CellOutput(unsigned)>& attempt)
+{
+    const unsigned max_attempts = opts.retryCells + 1;
+    std::string last_error;
+    for (unsigned a = 1; a <= max_attempts; ++a) {
+        try {
+            const auto t0 = std::chrono::steady_clock::now();
+            COSIM_FAULT_POINT("cell.throw");
+            if (faultPending("cell.hang")) {
+                const double nap = opts.cellTimeout > 0.0
+                    ? opts.cellTimeout * 1.5
+                    : 0.25;
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(nap));
+            }
+            CellOutput cell = attempt(a);
+            const double secs = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count();
+            if (opts.cellTimeout > 0.0 && secs > opts.cellTimeout) {
+                throw std::runtime_error(strFormat(
+                    "cell exceeded --cell-timeout (%.2fs > %.2fs)", secs,
+                    opts.cellTimeout));
+            }
+            cell.mw.status = a > 1 ? "retried" : "ok";
+            cell.mw.attempts = a;
+            return cell;
+        } catch (const std::exception& e) {
+            obs::StatsRegistry::global().removePrefix(stats_prefix);
+            last_error = e.what();
+            warn("sweep cell %s failed (attempt %u/%u): %s",
+                 label.c_str(), a, max_attempts, e.what());
+        }
+    }
+    CellOutput cell;
+    cell.failed = true;
+    cell.mw.name = label;
+    cell.mw.status = "failed";
+    cell.mw.attempts = max_attempts;
+    cell.mw.error = last_error;
+    return cell;
+}
+
+/**
  * The paper's combined cell: execute @p name once on @p cosim with every
  * configuration of the sweep passively attached, optionally recording or
  * fingerprinting the bus stream on the side.
@@ -278,6 +352,7 @@ runExecCell(const std::string& name, std::size_t config_index,
     params.platform = platform;
     params.emulators = {emu};
     params.emulationThreads = opts.emuThreads;
+    params.degradeToSerial = opts.degradeSerial;
     CoSimulation rig(params);
 
     auto workload = createWorkload(name, opts.scale);
@@ -406,6 +481,7 @@ replayConfigCell(const WorkloadStream& ws, const std::string& name,
     params.platform = platform;
     params.emulators = {emu};
     params.emulationThreads = opts.emuThreads;
+    params.degradeToSerial = opts.degradeSerial;
     CoSimulation rig(params);
 
     ReplayResult details;
@@ -440,8 +516,33 @@ CellOutput
 mergeWorkloadCells(const std::string& name, const CellOutput* base,
                    std::vector<CellOutput>& configs)
 {
+    // Outcome first: any failed constituent fails the whole workload
+    // row (a partial series would silently shift the figure's x axis).
+    bool any_failed = base != nullptr && base->failed;
+    bool any_retried = base != nullptr && base->mw.status == "retried";
+    std::uint64_t attempts = base ? base->mw.attempts : 1;
+    std::string error = base ? base->mw.error : "";
+    for (const CellOutput& c : configs) {
+        any_failed = any_failed || c.failed;
+        any_retried = any_retried || c.mw.status == "retried";
+        attempts = std::max(attempts, c.mw.attempts);
+        if (error.empty())
+            error = c.mw.error;
+    }
+    if (any_failed) {
+        CellOutput merged;
+        merged.failed = true;
+        merged.mw.name = name;
+        merged.mw.status = "failed";
+        merged.mw.attempts = attempts;
+        merged.mw.error = error;
+        return merged;
+    }
+
     CellOutput merged;
     merged.mw.name = name;
+    merged.mw.status = any_retried ? "retried" : "ok";
+    merged.mw.attempts = attempts;
 
     const CellOutput& first = base ? *base : configs.front();
     merged.mw.totalInsts = first.mw.totalInsts;
@@ -509,27 +610,44 @@ runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
     const bool replay = opts.cells == CellMode::Replay;
 
     std::vector<WorkloadStream> streams(replay ? n_w : 0);
-    if (replay) {
+    if (replay && !opts.replayBase.empty()) {
+        // File-backed replay: no guest execution, just resolve paths.
+        // Unreadable or corrupt streams surface per config cell below.
+        for (std::size_t w = 0; w < n_w; ++w)
+            streams[w].path = fsbStreamPath(opts.replayBase,
+                                            opts.workloads[w]);
+    } else if (replay) {
+        // The capture execution is a cell of its own: if it fails, the
+        // workload's config cells are skipped (they would replay a
+        // stream that does not exist), not crashed into.
+        auto capture_task = [&](std::size_t w) {
+            const std::string& name = opts.workloads[w];
+            WorkloadStream ws;
+            ws.base = runGuardedCell(
+                name + "/capture", "cell/" + name + "/capture/", opts,
+                [&](unsigned) {
+                    ws = captureWorkloadStream(name, platform, opts);
+                    return ws.base;
+                });
+            return ws;
+        };
         const unsigned jobs = static_cast<unsigned>(
             std::min<std::size_t>(opts.jobs, std::max<std::size_t>(n_w,
                                                                    1)));
-        if (jobs > 1 && opts.replayBase.empty()) {
+        if (jobs > 1) {
             ThreadPool pool(jobs);
             std::vector<std::future<WorkloadStream>> futures;
             futures.reserve(n_w);
             for (std::size_t w = 0; w < n_w; ++w) {
-                const std::string& name = opts.workloads[w];
-                futures.push_back(pool.submit([&name, &platform, &opts] {
-                    return captureWorkloadStream(name, platform, opts);
+                futures.push_back(pool.submit([&capture_task, w] {
+                    return capture_task(w);
                 }));
             }
             for (std::size_t w = 0; w < n_w; ++w)
                 streams[w] = futures[w].get();
         } else {
-            for (std::size_t w = 0; w < n_w; ++w) {
-                streams[w] = captureWorkloadStream(opts.workloads[w],
-                                                   platform, opts);
-            }
+            for (std::size_t w = 0; w < n_w; ++w)
+                streams[w] = capture_task(w);
         }
     }
 
@@ -539,11 +657,25 @@ runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
                                                                1)));
     auto run_one = [&](std::size_t w, std::size_t c) {
         const std::string& name = opts.workloads[w];
-        return replay
-            ? replayConfigCell(streams[w], name, c, emulators[c],
-                               ticks[c], platform, opts)
-            : runExecCell(name, c, emulators[c], ticks[c], platform,
-                          opts);
+        const std::string label = name + "/" + ticks[c];
+        if (replay && streams[w].base.failed) {
+            CellOutput cell;
+            cell.failed = true;
+            cell.mw.name = label;
+            cell.mw.status = "failed";
+            cell.mw.attempts = streams[w].base.mw.attempts;
+            cell.mw.error = "capture failed: " + streams[w].base.mw.error;
+            return cell;
+        }
+        return runGuardedCell(
+            label, "cell/" + name + "/" + ticks[c] + "/", opts,
+            [&, w, c](unsigned) {
+                return replay
+                    ? replayConfigCell(streams[w], name, c, emulators[c],
+                                       ticks[c], platform, opts)
+                    : runExecCell(name, c, emulators[c], ticks[c],
+                                  platform, opts);
+            });
     };
 
     std::vector<CellOutput> flat(n_flat);
@@ -622,17 +754,22 @@ SweepRunner::runFigure(const std::string& figure_id,
         params.platform = platform;
         params.emulators = emulators;
         params.emulationThreads = opts_.emuThreads;
+        params.degradeToSerial = opts_.degradeSerial;
 
         const unsigned jobs = static_cast<unsigned>(
             std::min<std::size_t>(opts_.jobs,
                                   std::max<std::size_t>(n_cells, 1)));
 
-        // One rig per cell when cells run in parallel; a single reused
-        // rig (the original behaviour) when serial. Workload executions
-        // never share simulator state either way -- the platform resets
-        // per run -- so the two modes produce identical results.
-        rigs.reserve(jobs > 1 ? n_cells : 1);
-        if (jobs > 1) {
+        // One rig per cell when cells run in parallel or must fail
+        // independently (--keep-going / --retry-cells: a poisoned rig
+        // must not leak into the next cell); a single reused rig (the
+        // original behaviour) when serial. Workload executions never
+        // share simulator state either way -- the platform resets per
+        // run -- so the modes produce identical results.
+        const bool isolate =
+            jobs > 1 || opts_.keepGoing || opts_.retryCells > 0;
+        rigs.reserve(isolate ? n_cells : 1);
+        if (isolate) {
             for (std::size_t i = 0; i < n_cells; ++i)
                 rigs.push_back(std::make_unique<CoSimulation>(params));
         } else {
@@ -642,6 +779,24 @@ SweepRunner::runFigure(const std::string& figure_id,
         manifest.emulationThreads = rigs.back()->emulationThreads();
 
         const bool replay = !opts_.replayBase.empty();
+        auto run_cell = [&](std::size_t i) {
+            const std::string& name = opts_.workloads[i];
+            return runGuardedCell(
+                name, "cell/" + name + "/", opts_,
+                [&, i](unsigned attempt_no) {
+                    std::unique_ptr<CoSimulation>& rig =
+                        rigs[isolate ? i : 0];
+                    if (attempt_no > 1 && isolate) {
+                        // The failed attempt may have poisoned the rig
+                        // (a dead emulation worker stays dead): retry
+                        // on a fresh one.
+                        rig = std::make_unique<CoSimulation>(params);
+                    }
+                    return replay
+                        ? replayCombinedCell(*rig, name, platform, opts_)
+                        : runCombinedCell(*rig, name, platform, opts_);
+                });
+        };
         cells.resize(n_cells);
         if (jobs > 1) {
             // Only the aggregation below touches shared state; each cell
@@ -650,16 +805,8 @@ SweepRunner::runFigure(const std::string& figure_id,
             std::vector<std::future<CellOutput>> futures;
             futures.reserve(n_cells);
             for (std::size_t i = 0; i < n_cells; ++i) {
-                CoSimulation* rig = rigs[i].get();
-                const std::string& name = opts_.workloads[i];
                 futures.push_back(
-                    pool.submit([this, rig, &name, &platform, replay] {
-                        return replay
-                            ? replayCombinedCell(*rig, name, platform,
-                                                 opts_)
-                            : runCombinedCell(*rig, name, platform,
-                                              opts_);
-                    }));
+                    pool.submit([&run_cell, i] { return run_cell(i); }));
             }
             for (std::size_t i = 0; i < n_cells; ++i)
                 cells[i] = futures[i].get();
@@ -668,11 +815,7 @@ SweepRunner::runFigure(const std::string& figure_id,
                 debug("sweep %s: starting %s (%zu/%zu)",
                       figure_id.c_str(), opts_.workloads[i].c_str(),
                       i + 1, n_cells);
-                cells[i] = replay
-                    ? replayCombinedCell(*rigs[0], opts_.workloads[i],
-                                         platform, opts_)
-                    : runCombinedCell(*rigs[0], opts_.workloads[i],
-                                      platform, opts_);
+                cells[i] = run_cell(i);
             }
         }
     } else {
@@ -688,9 +831,30 @@ SweepRunner::runFigure(const std::string& figure_id,
     // Aggregate in workload order regardless of completion order, so the
     // figure, manifest and digest outputs are deterministic.
     double host_sum = 0.0;
+    bool any_failed = false;
+    std::string first_error;
     DigestManifest digests;
     for (std::size_t i = 0; i < n_cells; ++i) {
         CellOutput& cell = cells[i];
+        if (cell.failed) {
+            const std::string& name = opts_.workloads[i];
+            if (cell.mw.name.empty())
+                cell.mw.name = name;
+            // Drop whatever the failed cell registered before dying so
+            // the stats dump never carries a half-populated namespace.
+            obs::StatsRegistry::global().removePrefix("cell/" + name +
+                                                      "/");
+            manifest.workloads.push_back(cell.mw);
+            figure.addFailedSeries(name, cell.mw.status);
+            if (!any_failed)
+                first_error = cell.mw.error;
+            any_failed = true;
+            std::printf("  %-9s FAILED after %llu attempt(s): %s  "
+                        "[%zu/%zu]\n", name.c_str(),
+                        static_cast<unsigned long long>(cell.mw.attempts),
+                        cell.mw.error.c_str(), i + 1, n_cells);
+            continue;
+        }
         host_sum += cell.mw.hostSeconds;
         manifest.guestExecutions += cell.guestExecutions;
         manifest.captureTxns += cell.captureTxns;
@@ -704,6 +868,7 @@ SweepRunner::runFigure(const std::string& figure_id,
         manifest.workloads.push_back(cell.mw);
         figure.addSeries(cell.mw.name, cell.series,
                          std::move(cell.points));
+        figure.setStatus(cell.mw.name, cell.mw.status);
         std::printf("  %-9s %8.1fM inst  %6.2fs host  %5.1f MIPS  "
                     "verified=%s%s  [%zu/%zu]\n", cell.mw.name.c_str(),
                     static_cast<double>(cell.mw.totalInsts) / 1e6,
@@ -715,6 +880,15 @@ SweepRunner::runFigure(const std::string& figure_id,
     manifest.hostSpeedup = manifest.wallSeconds > 0.0
         ? host_sum / manifest.wallSeconds
         : 0.0;
+
+    // A failed cell without --keep-going fails the run *before* any
+    // artifact is written: a nonzero exit must never leave behind a
+    // stats dump or manifest that looks like a completed figure.
+    if (any_failed && !opts_.keepGoing) {
+        fatal("sweep %s: cell failed: %s (use --keep-going to finish "
+              "the healthy cells)", figure_id.c_str(),
+              first_error.c_str());
+    }
 
     // Publish the rig's component stats and the host profile through the
     // uniform registry dumpers. In combined mode the last rig's live

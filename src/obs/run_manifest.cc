@@ -1,7 +1,6 @@
 #include "obs/run_manifest.hh"
 
-#include <fstream>
-
+#include "base/atomic_file.hh"
 #include "base/logging.hh"
 #include "obs/json.hh"
 
@@ -104,6 +103,10 @@ RunManifest::toJson() const
                ", \"host_seconds\": " + json::number(w.hostSeconds) +
                ", \"sim_mips\": " + json::number(w.simMips) +
                ", \"verified\": " + (w.verified ? "true" : "false") +
+               ",\n     \"status\": " + json::quote(w.status) +
+               ", \"attempts\": " +
+               json::number(static_cast<double>(w.attempts)) +
+               ", \"error\": " + json::quote(w.error) +
                ",\n     \"replayed_from\": " + json::quote(w.replayedFrom) +
                ",\n     \"mpki_per_config\": " +
                numberArray(w.mpkiPerConfig) +
@@ -119,11 +122,14 @@ RunManifest::toJson() const
 void
 RunManifest::writeJson(const std::string& path) const
 {
-    std::ofstream out(path);
-    fatal_if(!out, "cannot open manifest file '%s'", path.c_str());
-    out << toJson();
-    fatal_if(!out.good(), "error writing manifest file '%s'",
-             path.c_str());
+    // Atomic write-temp + rename: a crash or full disk leaves either
+    // the previous manifest or the complete new one, never a torn
+    // file. A failed write is fatal (nonzero exit) with the path.
+    try {
+        writeFileAtomic(path, toJson());
+    } catch (const IoError& e) {
+        fatal("manifest: %s", e.what());
+    }
 }
 
 } // namespace obs

@@ -39,6 +39,15 @@ struct ManifestWorkload
      * source the cell's emulator results were replayed from. */
     std::string replayedFrom;
 
+    /** @name Cell outcome (sweep isolation, see --keep-going) @{ */
+    /** "ok", "retried" (succeeded after retry), or "failed". */
+    std::string status = "ok";
+    /** Attempts spent on the cell (> 1 under --retry-cells). */
+    std::uint64_t attempts = 1;
+    /** The last attempt's error; empty unless status is "failed". */
+    std::string error;
+    /** @} */
+
     /** Final MPKI of every emulated configuration, in sweep order. */
     std::vector<double> mpkiPerConfig;
 

@@ -1,7 +1,6 @@
 #include "obs/stats_registry.hh"
 
-#include <fstream>
-
+#include "base/atomic_file.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "obs/json.hh"
@@ -62,6 +61,20 @@ StatsRegistry::clear()
 {
     LockGuard lock(mutex_);
     groups_.clear();
+}
+
+std::size_t
+StatsRegistry::removePrefix(const std::string& prefix)
+{
+    LockGuard lock(mutex_);
+    const std::size_t before = groups_.size();
+    for (auto it = groups_.begin(); it != groups_.end();) {
+        if (it->name().compare(0, prefix.size(), prefix) == 0)
+            it = groups_.erase(it);
+        else
+            ++it;
+    }
+    return before - groups_.size();
 }
 
 std::vector<std::string>
@@ -146,10 +159,14 @@ StatsRegistry::writeFile(const std::string& path) const
     else
         body = dumpText();
 
-    std::ofstream out(path);
-    fatal_if(!out, "cannot open stats file '%s'", path.c_str());
-    out << body;
-    fatal_if(!out.good(), "error writing stats file '%s'", path.c_str());
+    // Atomic write so a crash or full disk never leaves a truncated
+    // dump that looks complete; a failed write exits nonzero with the
+    // path instead of printing success over a torn file.
+    try {
+        writeFileAtomic(path, body);
+    } catch (const IoError& e) {
+        fatal("stats: %s", e.what());
+    }
 }
 
 } // namespace obs

@@ -66,6 +66,15 @@ class StatsRegistry
     /** Drop every registered group. */
     void clear();
 
+    /**
+     * Drop every group whose name starts with @p prefix; @return how
+     * many were removed. A failed sweep cell's "cell/<workload>/..."
+     * namespace is erased with this so the registry never holds a
+     * half-populated cell. Invalidates references returned by add()
+     * for the removed groups (callers only use those transiently).
+     */
+    std::size_t removePrefix(const std::string& prefix);
+
     std::size_t size() const
     {
         LockGuard lock(mutex_);

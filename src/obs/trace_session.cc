@@ -1,8 +1,8 @@
 #include "obs/trace_session.hh"
 
 #include <algorithm>
-#include <fstream>
 
+#include "base/atomic_file.hh"
 #include "base/logging.hh"
 #include "obs/json.hh"
 
@@ -160,10 +160,11 @@ TraceSession::exportJson() const
 void
 TraceSession::writeJson(const std::string& path) const
 {
-    std::ofstream out(path);
-    fatal_if(!out, "cannot open trace file '%s'", path.c_str());
-    out << exportJson();
-    fatal_if(!out.good(), "error writing trace file '%s'", path.c_str());
+    try {
+        writeFileAtomic(path, exportJson());
+    } catch (const IoError& e) {
+        fatal("trace: %s", e.what());
+    }
 }
 
 void

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/atomic_file.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
 
@@ -234,12 +235,11 @@ void
 FsbStreamWriter::writeFile(const std::string& path)
 {
     finish();
-    std::ofstream out(path, std::ios::binary);
-    fatal_if(!out, "cannot open FSB stream file '%s'", path.c_str());
-    out.write(reinterpret_cast<const char*>(buffer_.data()),
-              static_cast<std::streamsize>(buffer_.size()));
-    fatal_if(!out.good(), "error writing FSB stream file '%s'",
-             path.c_str());
+    AtomicFile file(path, /*binary=*/true);
+    file.stream().write(
+        reinterpret_cast<const char*>(buffer_.data()),
+        static_cast<std::streamsize>(buffer_.size()));
+    file.commit();
 }
 
 std::shared_ptr<const std::vector<std::uint8_t>>
@@ -253,8 +253,12 @@ FsbStreamWriter::share()
 bool
 FsbStreamReader::fail(const std::string& what)
 {
-    if (error_.empty())
-        error_ = what;
+    // Every decode error is positioned: the byte offset pins the
+    // corruption for fuzz tests and for anyone hexdumping the stream.
+    if (error_.empty()) {
+        error_ = what + " (byte offset " + std::to_string(pos_) + " of " +
+                 std::to_string(data_ ? data_->size() : 0) + ")";
+    }
     return false;
 }
 
@@ -596,11 +600,11 @@ DigestManifest::toText() const
 void
 DigestManifest::writeFile(const std::string& path) const
 {
-    std::ofstream out(path);
-    fatal_if(!out, "cannot open digest manifest '%s'", path.c_str());
-    out << toText();
-    fatal_if(!out.good(), "error writing digest manifest '%s'",
-             path.c_str());
+    try {
+        writeFileAtomic(path, toText());
+    } catch (const IoError& e) {
+        fatal("digest manifest: %s", e.what());
+    }
 }
 
 bool

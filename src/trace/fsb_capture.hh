@@ -123,7 +123,11 @@ class FsbStreamWriter
     /** Flush the open chunk and write the trailer (idempotent). */
     void finish();
 
-    /** finish(), then write the buffer to @p path; fatal() on I/O error. */
+    /**
+     * finish(), then write the buffer to @p path atomically
+     * (write-temp + rename). @throws IoError on failure, so a sweep
+     * cell capturing to a bad path is isolatable under --keep-going.
+     */
     void writeFile(const std::string& path);
 
     /** finish(), then hand the encoded stream off without copying. */

@@ -228,15 +228,19 @@ TEST(FigureData, CsvOutput)
     std::string path = ::testing::TempDir() + "cosim_fig_test.csv";
     FigureData fig("FigY", "line size", {"64B", "128B"});
     fig.addSeries("SHOT", {10.0, 5.0});
+    fig.addFailedSeries("MDS");
     fig.writeCsv(path);
 
     std::FILE* f = std::fopen(path.c_str(), "r");
     ASSERT_NE(f, nullptr);
     char buf[128];
     ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
-    EXPECT_STREQ(buf, "workload,64B,128B\n");
+    EXPECT_STREQ(buf, "workload,64B,128B,status\n");
     ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
-    EXPECT_STREQ(buf, "SHOT,10,5\n");
+    EXPECT_STREQ(buf, "SHOT,10,5,ok\n");
+    // A failed cell keeps its row: empty value fields, status "failed".
+    ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+    EXPECT_STREQ(buf, "MDS,,,failed\n");
     std::fclose(f);
     std::remove(path.c_str());
 }

@@ -197,6 +197,29 @@ TEST(CosimLintHygiene, IncludeOfNewHeaderIsNotRawNew)
     EXPECT_TRUE(rulesHit("src/base/x.cc", "#include <new>\n").empty());
 }
 
+TEST(CosimLintHygiene, RawOfstreamFlaggedOutsideBase)
+{
+    const std::string code =
+        "void f() { std::ofstream out(\"x.csv\"); }\n";
+    EXPECT_TRUE(hasRule(rulesHit("src/obs/x.cc", code),
+                        "no-raw-ofstream"));
+    EXPECT_TRUE(hasRule(rulesHit("src/trace/x.cc", code),
+                        "no-raw-ofstream"));
+    // base/ holds AtomicFile itself; non-src trees are CLI/test code.
+    EXPECT_TRUE(rulesHit("src/base/x.cc", code).empty());
+    EXPECT_TRUE(rulesHit("tools/cosim_lint/x.cc", code).empty());
+    EXPECT_TRUE(rulesHit("tests/x.cc", code).empty());
+}
+
+TEST(CosimLintHygiene, OfstreamInCommentsAndIncludesNotFlagged)
+{
+    EXPECT_TRUE(rulesHit("src/obs/x.cc",
+                         "#include <fstream>\n"
+                         "// the old std::ofstream path is gone\n"
+                         "int myofstream = 0;\n")
+                    .empty());
+}
+
 // ---------------------------------------------------------------------
 // Mechanical rules.
 // ---------------------------------------------------------------------
@@ -320,6 +343,8 @@ TEST(CosimLintRuleSets, BaseAndObsAreLibraryNotSimulation)
         EXPECT_TRUE(rules.noRawNewDelete) << path;
         EXPECT_TRUE(rules.noPrintf) << path;
     }
+    EXPECT_FALSE(ruleSetFor("src/base/x.cc").noRawOfstream);
+    EXPECT_TRUE(ruleSetFor("src/obs/x.cc").noRawOfstream);
 }
 
 TEST(CosimLintRuleSets, HarnessAndNonSrcTreesAreMechanicalOnly)
@@ -341,8 +366,8 @@ TEST(CosimLintRuleSets, AllRulesListsEveryRule)
     for (const char* rule :
          {"no-rand", "no-time", "no-system-clock", "no-random-device",
           "unordered-iteration", "no-raw-new", "no-raw-delete",
-          "no-printf", "header-guard", "include-hygiene",
-          "trailing-whitespace"}) {
+          "no-printf", "no-raw-ofstream", "header-guard",
+          "include-hygiene", "trailing-whitespace"}) {
         EXPECT_TRUE(hasRule(all, rule)) << rule;
     }
 }

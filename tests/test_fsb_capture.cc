@@ -249,8 +249,10 @@ TEST(FsbCaptureMalformed, UnsupportedVersion)
 
 TEST(FsbCaptureMalformed, TruncationAtEveryPrefixIsAnError)
 {
-    // Cut the stream at every possible length: no prefix may decode
-    // cleanly (the trailer is mandatory), and none may crash.
+    // Cut the stream at every possible length -- which includes every
+    // chunk boundary: no prefix may decode cleanly (the trailer is
+    // mandatory), none may crash, and every error is positioned so the
+    // corrupt byte can be found.
     std::vector<std::uint8_t> bytes = encode(adversarialStream(), 16);
     for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
         std::vector<std::uint8_t> prefix(bytes.begin(),
@@ -259,6 +261,49 @@ TEST(FsbCaptureMalformed, TruncationAtEveryPrefixIsAnError)
         EXPECT_FALSE(reader->ok() && reader->atEnd())
             << "prefix of " << cut << " bytes decoded cleanly";
         EXPECT_FALSE(reader->error().empty()) << "cut=" << cut;
+        EXPECT_NE(reader->error().find("byte offset"),
+                  std::string::npos)
+            << "cut=" << cut << ": " << reader->error();
+    }
+}
+
+TEST(FsbCaptureMalformed, EveryHeaderBitFlipIsHandled)
+{
+    // Flip every bit of the 48 fixed header bytes and the two length-
+    // prefixed strings. Each mutation must either fail with a
+    // positioned error or -- for fields that do not affect decoding,
+    // like the seed or the result counters -- still decode the exact
+    // original payload. Never a crash, hang, or silent short read.
+    const std::vector<BusTransaction> in = adversarialStream();
+    const std::vector<std::uint8_t> bytes = encode(in, 16);
+
+    FsbDigest ref;
+    ref.update(in.data(), in.size());
+
+    const std::size_t header_end = 48 + 7 + 8; // fixed + strings
+    ASSERT_LT(header_end, bytes.size());
+    for (std::size_t byte = 0; byte < header_end; ++byte) {
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            std::vector<std::uint8_t> corrupt = bytes;
+            corrupt[byte] ^= static_cast<std::uint8_t>(1u << bit);
+            std::vector<BusTransaction> out;
+            auto reader = decodeAll(std::move(corrupt), &out);
+            if (reader->ok() && reader->atEnd()) {
+                EXPECT_EQ(out.size(), in.size())
+                    << "byte " << byte << " bit " << bit
+                    << ": silent short read";
+                EXPECT_EQ(reader->contentDigest(), ref.value())
+                    << "byte " << byte << " bit " << bit
+                    << ": silent payload corruption";
+            } else {
+                EXPECT_FALSE(reader->error().empty())
+                    << "byte " << byte << " bit " << bit;
+                EXPECT_NE(reader->error().find("byte offset"),
+                          std::string::npos)
+                    << "byte " << byte << " bit " << bit << ": "
+                    << reader->error();
+            }
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <sys/stat.h>
 
+#include "base/fault.hh"
 #include "base/units.hh"
 #include "harness/report.hh"
 #include "harness/sweep_runner.hh"
@@ -59,6 +60,37 @@ TEST(BenchOptions, SeedOutAndVerify)
     EXPECT_EQ(o.seed, 7u);
     EXPECT_EQ(o.outDir, "/tmp/x");
     EXPECT_FALSE(o.strictVerify);
+}
+
+TEST(BenchOptions, RobustnessFlags)
+{
+    BenchOptions o = parse({"--keep-going", "--retry-cells=2",
+                            "--cell-timeout=1.5", "--degrade-serial"});
+    EXPECT_TRUE(o.keepGoing);
+    EXPECT_EQ(o.retryCells, 2u);
+    EXPECT_DOUBLE_EQ(o.cellTimeout, 1.5);
+    EXPECT_TRUE(o.degradeSerial);
+
+    BenchOptions d = parse({});
+    EXPECT_FALSE(d.keepGoing);
+    EXPECT_EQ(d.retryCells, 0u);
+    EXPECT_DOUBLE_EQ(d.cellTimeout, 0.0);
+    EXPECT_FALSE(d.degradeSerial);
+    EXPECT_TRUE(d.faults.empty());
+}
+
+TEST(BenchOptions, FaultsFlagArmsThePlanWithTheRunSeed)
+{
+    BenchOptions o = parse({"--faults=cell.throw:nth=5", "--seed=9"});
+    EXPECT_EQ(o.faults, "cell.throw:nth=5");
+    EXPECT_TRUE(FaultInjector::enabled());
+    FaultInjector& inj = FaultInjector::global();
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(inj.shouldFail("cell.throw")) << i;
+    EXPECT_TRUE(inj.shouldFail("cell.throw"));
+    // Disarm so the plan cannot leak into later tests.
+    inj.disarm();
+    EXPECT_FALSE(FaultInjector::enabled());
 }
 
 TEST(BenchOptions, EnsureOutputDirCreates)

@@ -280,14 +280,22 @@ TEST(FsbReplay, CorruptStreamReportsErrorThroughDriver)
         << rr.error;
 }
 
-TEST(FsbReplayDeathTest, CoSimulationRefusesCorruptStream)
+TEST(FsbReplay, CoSimulationRefusesCorruptStream)
 {
+    // Throws (instead of the old fatal()) so a sweep cell replaying a
+    // bad capture can be isolated under --keep-going.
     CoSimParams params;
     params.platform = smallCmp(2);
     params.emulators = {llc(8 * KiB)};
     CoSimulation cosim(params);
-    EXPECT_DEATH(cosim.replayFile("/nonexistent/stream.fsb"),
-                 "cannot replay FSB stream");
+    try {
+        cosim.replayFile("/nonexistent/stream.fsb");
+        FAIL() << "replayFile must throw on an unreadable stream";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("cannot replay FSB stream"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 // --- sweep cell modes ----------------------------------------------------

@@ -490,8 +490,8 @@ allRules()
             "no-system-clock", "no-random-device",
             "unordered-iteration", "no-raw-new",
             "no-raw-delete",  "no-printf",
-            "header-guard",   "include-hygiene",
-            "trailing-whitespace"};
+            "no-raw-ofstream", "header-guard",
+            "include-hygiene", "trailing-whitespace"};
 }
 
 RuleSet
@@ -505,6 +505,9 @@ ruleSetFor(const std::string& rel_path)
     // The harness is the CLI-facing reporting layer: banners and figure
     // tables go to stdout by design.
     rs.noPrintf = !startsWith(rel_path, "src/harness/");
+    // Artifact writers must go through AtomicFile so an interrupted run
+    // never leaves a truncated file; base/ holds AtomicFile itself.
+    rs.noRawOfstream = !startsWith(rel_path, "src/base/");
 
     // Simulation code: anything whose behaviour feeds simulated state,
     // results, or serialized output. base/ (host utilities, and the
@@ -632,6 +635,15 @@ lintContent(const std::string& rel_path, const std::string& content,
                     break;
                 }
             }
+        }
+
+        if (rules.noRawOfstream && inc.path.empty() &&
+            containsWord(line, "ofstream")) {
+            report("no-raw-ofstream", n,
+                   "raw std::ofstream in library code; write artifacts "
+                   "through AtomicFile / writeFileAtomic "
+                   "(base/atomic_file.hh) so failures never leave a "
+                   "truncated file");
         }
 
         if (rules.includeHygiene) {

@@ -22,6 +22,11 @@
  *     no-raw-delete      raw `delete` (`= delete` declarations are fine)
  *     no-printf          printf-family in library code (harness/CLIs
  *                        excepted; logging.cc carries allow-file)
+ *     no-raw-ofstream    std::ofstream in library code outside
+ *                        src/base/: artifact writers must go through
+ *                        AtomicFile (base/atomic_file.hh) so a failed
+ *                        or interrupted run never leaves a truncated
+ *                        file behind
  *
  *   Mechanical (fixable with --fix):
  *     header-guard       .hh guards must be COSIM_<PATH>_HH
@@ -64,6 +69,7 @@ struct RuleSet
     bool determinism = false; ///< no-rand/-time/-system-clock/... group
     bool noRawNewDelete = false;
     bool noPrintf = false;
+    bool noRawOfstream = false;
     bool headerGuard = true;
     bool includeHygiene = true;
     bool trailingWhitespace = true;
