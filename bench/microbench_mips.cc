@@ -17,17 +17,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "base/mutex.hh"
 #include "base/thread_pool.hh"
 #include "base/units.hh"
 #include "core/cosim.hh"
 #include "core/experiment.hh"
 #include "obs/json.hh"
 #include "obs/run_manifest.hh"
+#include "obs/stats_registry.hh"
 #include "test_workload_loop.hh"
 
 using namespace cosim;
@@ -210,6 +215,75 @@ BM_DragonheadObserve(benchmark::State& state)
 }
 BENCHMARK(BM_DragonheadObserve);
 
+/**
+ * Stats-registration contention: every parallel sweep cell snapshots
+ * its rig into the global registry, so registration throughput under
+ * --jobs matters. Each benchmark thread registers (and then removes)
+ * its own namespace of groups against one shared registry.
+ */
+void
+BM_StatsRegistration(benchmark::State& state)
+{
+    static obs::StatsRegistry registry;
+    const std::string prefix =
+        "cell/bm" + std::to_string(state.thread_index()) + "/";
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        stats::Group g(prefix + "grp" + std::to_string(n++ % 64));
+        g.add("a", [] { return 1.0; });
+        g.add("b", [] { return 2.0; });
+        registry.add(std::move(g));
+    }
+    registry.removePrefix(prefix);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatsRegistration)->Threads(1)->Threads(8);
+
+/**
+ * The tracked registry number for BENCH_mips.json: group
+ * registrations per second with every hardware thread hammering one
+ * registry. @p serialize wraps each add() in one shared mutex,
+ * emulating the pre-sharding single-lock registry so the JSON carries
+ * a measured before/after on the same machine.
+ */
+double
+measureRegistryOps(bool serialize)
+{
+    static Mutex single_lock;
+    const unsigned n_threads = ThreadPool::hardwareThreads();
+    const unsigned per_thread = 4000;
+    obs::StatsRegistry registry;
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t) {
+        threads.emplace_back([&registry, serialize, t] {
+            const std::string prefix =
+                "cell/w" + std::to_string(t) + "/";
+            for (unsigned i = 0; i < per_thread; ++i) {
+                stats::Group g(prefix + "grp" + std::to_string(i % 128));
+                g.add("a", [] { return 1.0; });
+                g.add("b", [] { return 2.0; });
+                if (serialize) {
+                    LockGuard lock(single_lock);
+                    registry.add(std::move(g));
+                } else {
+                    registry.add(std::move(g));
+                }
+            }
+        });
+    }
+    for (std::thread& th : threads)
+        th.join();
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return secs > 0.0
+        ? static_cast<double>(n_threads) * per_thread / secs
+        : 0.0;
+}
+
 /** One mode of the tracked serial-vs-parallel comparison. */
 struct ModeResult
 {
@@ -272,6 +346,11 @@ writeMipsJson()
         ? serial.hostSeconds / parallel.hostSeconds
         : 0.0;
 
+    const double reg_single = measureRegistryOps(/*serialize=*/true);
+    const double reg_sharded = measureRegistryOps(/*serialize=*/false);
+    const double reg_speedup =
+        reg_single > 0.0 ? reg_sharded / reg_single : 0.0;
+
     std::string out = "{\n";
     out += "  \"schema\": \"cosim-bench-mips/1\",\n";
     out += "  \"git\": " + json::quote(obs::buildRevision()) + ",\n";
@@ -281,7 +360,19 @@ writeMipsJson()
     out += "  \"parallel\": " + modeJson(parallel, host_threads) + ",\n";
     out += "  \"speedup\": " + json::number(speedup) + ",\n";
     out += std::string("  \"identical_results\": ") +
-           (identical ? "true" : "false") + "\n";
+           (identical ? "true" : "false") + ",\n";
+    out += "  \"stats_registration\": {\"single_lock_ops_per_s\": " +
+           json::number(reg_single) + ", \"sharded_ops_per_s\": " +
+           json::number(reg_sharded) + ", \"speedup\": " +
+           json::number(reg_speedup) + "},\n";
+    out += "  \"notes\": " +
+           json::quote("stats_registration compares group add() "
+                       "throughput with every hardware thread "
+                       "registering concurrently: single_lock wraps "
+                       "the sharded registry in one global mutex "
+                       "(the pre-sharding behaviour), sharded is the "
+                       "16-way lock-striped registry as shipped") +
+           "\n";
     out += "}\n";
 
     std::ofstream file(path);
@@ -294,6 +385,9 @@ writeMipsJson()
                 "%.2fx, identical=%s -> %s\n", serial.simMips,
                 host_threads, parallel.simMips, speedup,
                 identical ? "yes" : "NO", path.c_str());
+    std::printf("stats registration: single-lock %.0f ops/s, sharded "
+                "%.0f ops/s (%.2fx)\n", reg_single, reg_sharded,
+                reg_speedup);
     if (!identical) {
         std::fprintf(stderr, "microbench_mips: parallel emulation "
                      "diverged from serial!\n");

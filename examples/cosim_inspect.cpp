@@ -1,6 +1,6 @@
 /**
  * @file
- * cosim-inspect: pretty-print a run manifest.
+ * cosim-inspect: pretty-print and validate sweep artifacts.
  *
  * Every sweep run writes a machine-readable `run.json` next to its
  * figure CSVs (configuration, source revision, per-workload results,
@@ -8,12 +8,26 @@
  * humans: a summary header, a per-workload table, and a sparkline of
  * each workload's MPKI series.
  *
- * Usage: cosim_inspect <run.json>
+ * The telemetry subcommands validate the live-observability artifacts
+ * (CI runs them against faulted sweeps; see DESIGN.md "Telemetry"):
+ *
+ *   cosim_inspect <run.json>              pretty-print a run manifest
+ *   cosim_inspect progress <file.jsonl>   heartbeat/progress stream:
+ *                                         every line parses, seq is
+ *                                         dense from 0, required fields
+ *   cosim_inspect metrics <file.om>       OpenMetrics export: sample
+ *                                         shapes, cumulative histogram
+ *                                         buckets, trailing # EOF
+ *   cosim_inspect postmortem <file.json>  crash flight record: schema,
+ *                                         fault sites, thread events
+ *
+ * Exit status: 0 valid, 1 invalid or unreadable, 2 usage.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -77,28 +91,377 @@ numberList(const Value* v)
     return out;
 }
 
+/** The whole file, or empty with *ok=false when unreadable. */
+std::string
+readAll(const char* path, bool* ok)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cosim_inspect: cannot open '%s'\n", path);
+        *ok = false;
+        return std::string();
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    *ok = true;
+    return buf.str();
+}
+
+std::vector<std::string>
+splitLines(const std::string& text)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+/**
+ * Validate a heartbeat/progress stream (obs/progress.hh): every line
+ * is one JSON object carrying seq/t_us/event, seq densely numbered
+ * from 0, t_us never moving backwards. Prints an event census.
+ */
+int
+inspectProgress(const char* path)
+{
+    bool ok = false;
+    const std::string text = readAll(path, &ok);
+    if (!ok)
+        return 1;
+
+    int bad = 0;
+    double prev_t = -1.0;
+    std::size_t expected_seq = 0;
+    std::map<std::string, int> census;
+    const std::vector<std::string> lines = splitLines(text);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (lines[i].empty())
+            continue;
+        Value ev;
+        std::string error;
+        if (!obs::json::parse(lines[i], ev, &error)) {
+            std::fprintf(stderr, "%s:%zu: bad JSON: %s\n", path, i + 1,
+                         error.c_str());
+            ++bad;
+            continue;
+        }
+        const Value* seq = ev.find("seq");
+        const Value* t_us = ev.find("t_us");
+        const Value* event = ev.find("event");
+        if (seq == nullptr || !seq->isNumber() || t_us == nullptr ||
+            !t_us->isNumber() || event == nullptr ||
+            !event->isString()) {
+            std::fprintf(stderr,
+                         "%s:%zu: missing seq/t_us/event fields\n",
+                         path, i + 1);
+            ++bad;
+            continue;
+        }
+        if (seq->num != static_cast<double>(expected_seq)) {
+            std::fprintf(stderr,
+                         "%s:%zu: seq %.0f, expected %zu (stream must "
+                         "be densely numbered from 0)\n",
+                         path, i + 1, seq->num, expected_seq);
+            ++bad;
+        }
+        ++expected_seq;
+        if (t_us->num < prev_t) {
+            std::fprintf(stderr,
+                         "%s:%zu: t_us %.0f moved backwards\n", path,
+                         i + 1, t_us->num);
+            ++bad;
+        }
+        prev_t = t_us->num;
+        ++census[event->str];
+    }
+
+    if (expected_seq == 0) {
+        std::fprintf(stderr, "%s: no events\n", path);
+        return 1;
+    }
+    std::printf("%s: %zu event(s)\n", path, expected_seq);
+    for (const auto& kv : census)
+        std::printf("  %-14s %d\n", kv.first.c_str(), kv.second);
+    return bad == 0 ? 0 : 1;
+}
+
+/**
+ * Validate an OpenMetrics export (obs/metrics.hh renderOpenMetrics):
+ * cosim_-prefixed sample names, histogram buckets cumulative with
+ * _count equal to the +Inf bucket, and the mandatory trailing # EOF.
+ */
+int
+inspectMetrics(const char* path)
+{
+    bool ok = false;
+    const std::string text = readAll(path, &ok);
+    if (!ok)
+        return 1;
+
+    int bad = 0;
+    int samples = 0;
+    bool saw_eof = false;
+    // Per histogram: last _bucket value (cumulativity) and the +Inf
+    // bucket value (must equal _count).
+    std::map<std::string, double> last_bucket;
+    std::map<std::string, double> inf_bucket;
+    const std::vector<std::string> lines = splitLines(text);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& line = lines[i];
+        if (line.empty())
+            continue;
+        if (saw_eof) {
+            std::fprintf(stderr, "%s:%zu: content after # EOF\n", path,
+                         i + 1);
+            ++bad;
+            break;
+        }
+        if (line[0] == '#') {
+            if (line == "# EOF")
+                saw_eof = true;
+            else if (line.rfind("# TYPE ", 0) != 0 &&
+                     line.rfind("# HELP ", 0) != 0 &&
+                     line.rfind("# UNIT ", 0) != 0) {
+                std::fprintf(stderr, "%s:%zu: unknown comment form\n",
+                             path, i + 1);
+                ++bad;
+            }
+            continue;
+        }
+        std::size_t name_end = line.find_first_of("{ ");
+        std::size_t sp = line.rfind(' ');
+        if (name_end == std::string::npos || sp == std::string::npos ||
+            sp == line.size() - 1) {
+            std::fprintf(stderr, "%s:%zu: malformed sample line\n",
+                         path, i + 1);
+            ++bad;
+            continue;
+        }
+        std::string name = line.substr(0, name_end);
+        if (name.rfind("cosim_", 0) != 0) {
+            std::fprintf(stderr,
+                         "%s:%zu: sample '%s' lacks the cosim_ "
+                         "prefix\n",
+                         path, i + 1, name.c_str());
+            ++bad;
+        }
+        double value = 0.0;
+        try {
+            value = std::stod(line.substr(sp + 1));
+        } catch (...) {
+            std::fprintf(stderr, "%s:%zu: non-numeric sample value\n",
+                         path, i + 1);
+            ++bad;
+            continue;
+        }
+        ++samples;
+
+        const std::string kBucket = "_bucket";
+        if (name.size() > kBucket.size() &&
+            name.compare(name.size() - kBucket.size(), kBucket.size(),
+                         kBucket) == 0) {
+            std::string base =
+                name.substr(0, name.size() - kBucket.size());
+            auto it = last_bucket.find(base);
+            if (it != last_bucket.end() && value < it->second) {
+                std::fprintf(stderr,
+                             "%s:%zu: histogram '%s' buckets are not "
+                             "cumulative\n",
+                             path, i + 1, base.c_str());
+                ++bad;
+            }
+            last_bucket[base] = value;
+            if (line.find("le=\"+Inf\"") != std::string::npos)
+                inf_bucket[base] = value;
+        }
+        const std::string kCount = "_count";
+        if (name.size() > kCount.size() &&
+            name.compare(name.size() - kCount.size(), kCount.size(),
+                         kCount) == 0) {
+            std::string base =
+                name.substr(0, name.size() - kCount.size());
+            auto inf = inf_bucket.find(base);
+            if (inf != inf_bucket.end() && inf->second != value) {
+                std::fprintf(stderr,
+                             "%s:%zu: histogram '%s' _count %.0f != "
+                             "+Inf bucket %.0f\n",
+                             path, i + 1, base.c_str(), value,
+                             inf->second);
+                ++bad;
+            }
+        }
+    }
+    if (!saw_eof) {
+        std::fprintf(stderr, "%s: missing trailing # EOF\n", path);
+        ++bad;
+    }
+    if (samples == 0) {
+        std::fprintf(stderr, "%s: no samples\n", path);
+        return 1;
+    }
+    std::printf("%s: %d sample(s), %zu histogram(s)\n", path, samples,
+                last_bucket.size());
+    return bad == 0 ? 0 : 1;
+}
+
+/**
+ * Validate a crash flight record (obs/postmortem.hh): the
+ * cosim-postmortem/1 schema with its fault-site report and per-thread
+ * event history. Prints the failure summary CI greps for.
+ */
+int
+inspectPostmortem(const char* path)
+{
+    bool ok = false;
+    const std::string text = readAll(path, &ok);
+    if (!ok)
+        return 1;
+
+    Value doc;
+    std::string error;
+    if (!obs::json::parse(text, doc, &error)) {
+        std::fprintf(stderr, "cosim_inspect: %s: %s\n", path,
+                     error.c_str());
+        return 1;
+    }
+
+    int bad = 0;
+    const Value* schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->str != "cosim-postmortem/1") {
+        std::fprintf(stderr, "%s: schema is not cosim-postmortem/1\n",
+                     path);
+        ++bad;
+    }
+    const Value* reason = doc.find("reason");
+    if (reason == nullptr || !reason->isString() ||
+        reason->str.empty()) {
+        std::fprintf(stderr, "%s: missing reason\n", path);
+        ++bad;
+    }
+    const Value* t_us = doc.find("t_us");
+    if (t_us == nullptr || !t_us->isNumber()) {
+        std::fprintf(stderr, "%s: missing t_us\n", path);
+        ++bad;
+    }
+
+    std::printf("%s: %s", path,
+                stringOr(reason, "(no reason)").c_str());
+    std::string cell = stringOr(doc.find("cell"), "");
+    if (!cell.empty())
+        std::printf(", cell %s attempt %.0f", cell.c_str(),
+                    numberOr(doc.find("attempt"), 0.0));
+    std::printf("\n");
+    std::string err_text = stringOr(doc.find("error"), "");
+    if (!err_text.empty())
+        std::printf("  error: %s\n", err_text.c_str());
+
+    const Value* sites = doc.find("fault_sites");
+    if (sites != nullptr && sites->isArray()) {
+        for (const Value& s : sites->arr) {
+            if (s.find("site") == nullptr ||
+                !s.find("site")->isString()) {
+                std::fprintf(stderr,
+                             "%s: fault_sites entry lacks a site\n",
+                             path);
+                ++bad;
+                continue;
+            }
+            std::printf("  fault %s: armed %.0f, fired %.0f "
+                        "(%.0f hits)\n",
+                        s.find("site")->str.c_str(),
+                        numberOr(s.find("armed"), 0.0),
+                        numberOr(s.find("fired"), 0.0),
+                        numberOr(s.find("hits"), 0.0));
+        }
+    }
+
+    const Value* threads = doc.find("threads");
+    if (threads == nullptr || !threads->isArray()) {
+        std::fprintf(stderr, "%s: missing threads array\n", path);
+        ++bad;
+    } else {
+        for (const Value& t : threads->arr) {
+            const Value* label = t.find("label");
+            const Value* events = t.find("events");
+            if (label == nullptr || !label->isString() ||
+                events == nullptr || !events->isArray()) {
+                std::fprintf(stderr,
+                             "%s: thread entry lacks label/events\n",
+                             path);
+                ++bad;
+                continue;
+            }
+            double prev_seq = -1.0;
+            for (const Value& e : events->arr) {
+                const Value* seq = e.find("seq");
+                const Value* kind = e.find("kind");
+                if (seq == nullptr || !seq->isNumber() ||
+                    kind == nullptr || !kind->isString()) {
+                    std::fprintf(stderr,
+                                 "%s: thread '%s' event lacks "
+                                 "seq/kind\n",
+                                 path, label->str.c_str());
+                    ++bad;
+                    break;
+                }
+                if (seq->num <= prev_seq) {
+                    std::fprintf(stderr,
+                                 "%s: thread '%s' events out of "
+                                 "order\n",
+                                 path, label->str.c_str());
+                    ++bad;
+                    break;
+                }
+                prev_seq = seq->num;
+            }
+            std::printf("  thread %-18s %zu event(s)\n",
+                        label->str.c_str(), events->arr.size());
+        }
+    }
+    return bad == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
+    if (argc == 3) {
+        const std::string cmd = argv[1];
+        if (cmd == "progress")
+            return inspectProgress(argv[2]);
+        if (cmd == "metrics")
+            return inspectMetrics(argv[2]);
+        if (cmd == "postmortem")
+            return inspectPostmortem(argv[2]);
+    }
     if (argc != 2) {
-        std::fprintf(stderr, "usage: cosim_inspect <run.json>\n");
+        std::fprintf(stderr,
+                     "usage: cosim_inspect <run.json>\n"
+                     "       cosim_inspect progress <file.jsonl>\n"
+                     "       cosim_inspect metrics <file.om>\n"
+                     "       cosim_inspect postmortem <file.json>\n");
         return 2;
     }
 
-    std::ifstream in(argv[1]);
-    if (!in) {
-        std::fprintf(stderr, "cosim_inspect: cannot open '%s'\n",
-                     argv[1]);
+    bool read_ok = false;
+    const std::string text = readAll(argv[1], &read_ok);
+    if (!read_ok)
         return 1;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
 
     Value doc;
     std::string error;
-    if (!obs::json::parse(buf.str(), doc, &error)) {
+    if (!obs::json::parse(text, doc, &error)) {
         std::fprintf(stderr, "cosim_inspect: %s: %s\n", argv[1],
                      error.c_str());
         return 1;

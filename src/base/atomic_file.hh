@@ -89,6 +89,49 @@ class AtomicFile
 void writeFileAtomic(const std::string& path, const std::string& body,
                      bool binary = false);
 
+/**
+ * Line-granular append stream for event logs (progress.jsonl).
+ *
+ * Atomic-rename is the wrong shape for a stream that must hit disk
+ * *while the run is still going* -- the whole point is that a wedged
+ * or killed sweep is diagnosable from the partial file. AppendFile is
+ * the sanctioned discipline for that case: the file is created fresh
+ * (truncated) on open, and every appendLine() writes exactly one
+ * complete line and flushes it, so the file on disk is always a whole
+ * number of well-formed lines; a crash can lose at most the line being
+ * written, never interleave or truncate earlier ones.
+ *
+ * Diagnostics channel, deliberately best-effort past open: open
+ * failures throw IoError (caller misconfiguration), but a write
+ * failure mid-run only makes appendLine() return false -- a full disk
+ * must not take down the simulation it is reporting on. Not
+ * fault-instrumented ("io.write.fail" targets artifact writers).
+ *
+ * Not internally synchronized; callers serialize appendLine() calls
+ * (obs/progress.hh holds its stream mutex across each append).
+ */
+class AppendFile
+{
+  public:
+    /** Creates/truncates @p path. @throws IoError when it cannot. */
+    explicit AppendFile(const std::string& path);
+
+    AppendFile(const AppendFile&) = delete;
+    AppendFile& operator=(const AppendFile&) = delete;
+
+    /**
+     * Write @p line plus a trailing newline and flush. @return false
+     * once the stream has failed (and on every later call).
+     */
+    bool appendLine(const std::string& line);
+
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+};
+
 } // namespace cosim
 
 #endif // COSIM_BASE_ATOMIC_FILE_HH

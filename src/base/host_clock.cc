@@ -1,0 +1,19 @@
+#include "base/host_clock.hh"
+
+#include <chrono>
+
+namespace cosim {
+
+std::uint64_t
+hostClockNowUs()
+{
+    using Clock = std::chrono::steady_clock;
+    // Magic-static init is thread-safe; all later readers see the same
+    // origin without synchronization because it is never written again.
+    static const Clock::time_point origin = Clock::now();
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - origin);
+    return static_cast<std::uint64_t>(us.count());
+}
+
+} // namespace cosim

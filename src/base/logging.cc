@@ -4,6 +4,7 @@
 // at, so the stream writes live here by design.
 // cosim-lint: allow-file(no-printf)
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +37,7 @@ defaultHandler(LogLevel level, const std::string& msg)
 }
 
 LogHandler currentHandler = defaultHandler;
+FatalHook currentFatalHook = nullptr;
 
 LogLevel
 verbosityFromEnv()
@@ -89,6 +91,14 @@ setLogHandler(LogHandler handler)
     return prev;
 }
 
+FatalHook
+setFatalHook(FatalHook hook)
+{
+    FatalHook prev = currentFatalHook;
+    currentFatalHook = hook;
+    return prev;
+}
+
 LogLevel
 logVerbosity()
 {
@@ -139,6 +149,14 @@ fatalImpl(const char* file, int line, const char* fmt, ...)
     std::string msg = vformat(fmt, args);
     va_end(args);
     msg += " (" + std::string(file) + ":" + std::to_string(line) + ")";
+    // Run the post-mortem hook exactly once, even if the hook's own
+    // cleanup trips another fatal().
+    static std::atomic<bool> in_fatal_hook{false};
+    if (currentFatalHook != nullptr &&
+        !in_fatal_hook.exchange(true, std::memory_order_relaxed)) {
+        currentFatalHook(msg);
+        in_fatal_hook.store(false, std::memory_order_relaxed);
+    }
     currentHandler(LogLevel::Fatal, msg);
     std::exit(1);
 }

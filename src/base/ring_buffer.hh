@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-capacity overwrite-oldest ring buffer.
+ *
+ * A bounded history window: push() never allocates after construction
+ * and never fails -- once full, the oldest element is overwritten.
+ * Used wherever "the last N things that happened" is the right shape:
+ * host-profiler gauge samples, recent-event windows in tests.
+ *
+ * Not thread-safe; callers that share one across threads guard it
+ * themselves (the lock-free variant lives in base/flight_recorder.hh).
+ */
+
+#ifndef COSIM_BASE_RING_BUFFER_HH
+#define COSIM_BASE_RING_BUFFER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace cosim {
+
+/** See file comment. */
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t capacity) : slots_(capacity)
+    {
+        panic_if(capacity == 0, "RingBuffer capacity must be positive");
+    }
+
+    /** Append @p value, overwriting the oldest element when full. */
+    void
+    push(const T& value)
+    {
+        slots_[head_ % slots_.size()] = value;
+        ++head_;
+    }
+
+    /** Elements currently retained: min(pushed(), capacity()). */
+    std::size_t
+    size() const
+    {
+        return head_ < slots_.size() ? static_cast<std::size_t>(head_)
+                                     : slots_.size();
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Total elements ever pushed, including overwritten ones. */
+    std::uint64_t pushed() const { return head_; }
+
+    /** Retained element @p i, oldest first (0 .. size()-1). */
+    const T&
+    at(std::size_t i) const
+    {
+        panic_if(i >= size(), "RingBuffer::at(%zu) with size %zu", i,
+                 size());
+        std::uint64_t oldest = head_ - size();
+        return slots_[(oldest + i) % slots_.size()];
+    }
+
+    void clear() { head_ = 0; }
+
+  private:
+    std::vector<T> slots_;
+    std::uint64_t head_ = 0;
+};
+
+} // namespace cosim
+
+#endif // COSIM_BASE_RING_BUFFER_HH

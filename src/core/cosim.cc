@@ -183,6 +183,14 @@ CoSimulation::registerStats(obs::StatsRegistry& registry) const
     }
 }
 
+void
+CoSimulation::setHeartbeat(obs::HeartbeatSlot* slot)
+{
+    platform_.setHeartbeat(slot);
+    if (bank_)
+        bank_->setHeartbeat(slot);
+}
+
 std::vector<double>
 CoSimulation::mpkis() const
 {

@@ -1,8 +1,10 @@
 #include "core/emulator_bank.hh"
 
 #include "base/fault.hh"
+#include "base/flight_recorder.hh"
 #include "base/logging.hh"
 #include "obs/host_profiler.hh"
+#include "obs/metrics.hh"
 
 namespace cosim {
 
@@ -91,6 +93,16 @@ AsyncEmulatorBank::publishPending()
         std::move(pending_));
     pending_ = {};
     pending_.reserve(params_.chunkTxns);
+    if (obs::metrics::enabled()) {
+        static const obs::metrics::Histogram chunk_txns =
+            obs::metrics::histogram("emu.chunk_txns",
+                                    "transactions per published chunk");
+        chunk_txns.record(chunk->size());
+    }
+    FlightRecorder::note(FrKind::ChunkPublished, "emu.bank",
+                         chunk->size());
+    obs::HeartbeatSlot* beat =
+        heartbeat_.load(std::memory_order_relaxed);
     for (unsigned w = 0; w < workers_.size(); ++w) {
         Worker& worker = *workers_[w];
         if (degraded_[w]) {
@@ -100,10 +112,23 @@ AsyncEmulatorBank::publishPending()
         // A false return means the worker poisoned its queue (died);
         // the poison-aware wait is what keeps a full queue from
         // deadlocking this thread against a dead consumer.
-        if (worker.queue.push(chunk))
+        if (worker.queue.push(chunk)) {
             ++worker.chunksPushed;
-        else
+            if (beat != nullptr || obs::metrics::enabled()) {
+                const std::uint64_t depth = worker.queue.size();
+                if (beat != nullptr)
+                    beat->noteQueueDepth(depth);
+                if (obs::metrics::enabled()) {
+                    static const obs::metrics::Histogram queue_depth =
+                        obs::metrics::histogram(
+                            "emu.queue_depth",
+                            "SPSC chunk-queue depth after push");
+                    queue_depth.record(depth);
+                }
+            }
+        } else {
             handleDeadWorker(w, chunk);
+        }
     }
 }
 
@@ -283,6 +308,7 @@ AsyncEmulatorBank::degradedWorkers() const
 void
 AsyncEmulatorBank::workerLoop(unsigned w)
 {
+    FlightRecorder::setThreadLabel("emu.worker/" + std::to_string(w));
     Worker& worker = *workers_[w];
     Chunk chunk;
     while (worker.queue.pop(chunk)) {
@@ -307,6 +333,12 @@ AsyncEmulatorBank::workerLoop(unsigned w)
                 }
                 ++chunksDone_[w];
             }
+            FlightRecorder::note(FrKind::ChunkEmulated, "emu.worker",
+                                 n_txns, w);
+            obs::HeartbeatSlot* beat =
+                heartbeat_.load(std::memory_order_relaxed);
+            if (beat != nullptr)
+                beat->pulse();
             chunk.reset();
             syncCv_.notifyAll();
         } catch (...) {
@@ -327,6 +359,7 @@ AsyncEmulatorBank::workerLoop(unsigned w)
                 workerFailed_[w] = 1;
                 failedChunks_[w] = touched ? nullptr : chunk;
             }
+            FlightRecorder::note(FrKind::WorkerDied, "emu.worker", w);
             // Unblock a producer waiting on a full queue and a sync()
             // waiting on chunksDone_ -- this worker will never catch up.
             worker.queue.poison();

@@ -36,6 +36,7 @@
 #ifndef COSIM_CORE_EMULATOR_BANK_HH
 #define COSIM_CORE_EMULATOR_BANK_HH
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <memory>
@@ -48,6 +49,7 @@
 #include "base/spsc_queue.hh"
 #include "dragonhead/dragonhead.hh"
 #include "mem/fsb.hh"
+#include "obs/progress.hh"
 
 namespace cosim {
 
@@ -138,6 +140,18 @@ class AsyncEmulatorBank : public BusSnooper
      */
     unsigned degradedWorkers() const;
 
+    /**
+     * Publish liveness into @p slot: the producer reports SPSC queue
+     * depth as chunks are queued, workers pulse after each emulated
+     * chunk. Call only while the bank is quiescent (no run in flight);
+     * nullptr disables.
+     */
+    void
+    setHeartbeat(obs::HeartbeatSlot* slot)
+    {
+        heartbeat_.store(slot, std::memory_order_release);
+    }
+
   private:
     /** One immutable chunk, shared by every worker's queue. */
     using Chunk = std::shared_ptr<const std::vector<BusTransaction>>;
@@ -197,6 +211,9 @@ class AsyncEmulatorBank : public BusSnooper
     /** Producer-thread-only staging buffer (observe/observeBatch and
      * sync/reset are called from the one snooping thread). */
     std::vector<BusTransaction> pending_;
+
+    /** Heartbeat target; read by producer and workers (relaxed). */
+    std::atomic<obs::HeartbeatSlot*> heartbeat_{nullptr};
 
     mutable Mutex syncMutex_;
     CondVar syncCv_;

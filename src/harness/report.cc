@@ -8,6 +8,7 @@
 #include "base/fault.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
+#include "obs/metrics.hh"
 #include "workloads/workload_factory.hh"
 
 namespace cosim {
@@ -85,7 +86,13 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
                 "  --cell-timeout=<s> mark a cell failed after s "
                 "wall-clock seconds (default off)\n"
                 "  --degrade-serial adopt a dead emulation worker's "
-                "Dragonheads onto the workload thread\n",
+                "Dragonheads onto the workload thread\n"
+                "  --progress       live per-cell progress view on "
+                "stderr\n"
+                "  --progress-file=<f> machine-readable progress stream "
+                "(JSON lines)\n"
+                "  --metrics=<f>    dump telemetry histograms/counters "
+                "(OpenMetrics text)\n",
                 bench_description.c_str());
             std::exit(0);
         } else if (startsWith(arg, "--scale=")) {
@@ -159,6 +166,16 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
                      "bad --cell-timeout value '%s'", arg.c_str());
         } else if (arg == "--degrade-serial") {
             opts.degradeSerial = true;
+        } else if (arg == "--progress") {
+            opts.progress = true;
+        } else if (startsWith(arg, "--progress-file=")) {
+            opts.progressFile = arg.substr(16);
+            fatal_if(opts.progressFile.empty(),
+                     "--progress-file needs a file path");
+        } else if (startsWith(arg, "--metrics=")) {
+            opts.metricsFile = arg.substr(10);
+            fatal_if(opts.metricsFile.empty(),
+                     "--metrics needs a file path");
         } else {
             fatal("unknown option '%s' (try --help)", arg.c_str());
         }
@@ -184,6 +201,12 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
                  "bad --faults spec: %s", error.c_str());
         plan.seed = opts.seed;
         FaultInjector::global().arm(plan);
+    }
+    // Telemetry is opt-in: the histogram record paths stay a single
+    // relaxed load when none of the three flags is given.
+    if (opts.progress || !opts.progressFile.empty() ||
+        !opts.metricsFile.empty()) {
+        obs::metrics::setEnabled(true);
     }
     return opts;
 }

@@ -80,6 +80,15 @@ struct BenchOptions
     /** Degrade dead emulation workers to serial instead of failing. */
     bool degradeSerial = false;
     /** @} */
+
+    /** @name Live telemetry @{ */
+    /** Live one-line-per-cell progress view on stderr. */
+    bool progress = false;
+    /** Machine-readable progress stream (JSONL; empty = off). */
+    std::string progressFile;
+    /** OpenMetrics dump path for the metrics registry (empty = off). */
+    std::string metricsFile;
+    /** @} */
 };
 
 /**
@@ -110,9 +119,14 @@ std::string fsbStreamPath(const std::string& base,
  *   --cell-timeout=<s> mark cells failed after s wall-clock seconds
  *   --degrade-serial adopt dead emulation workers onto the workload
  *                    thread instead of failing the run
+ *   --progress       live per-cell progress view on stderr
+ *   --progress-file=<f> machine-readable progress stream (JSONL)
+ *   --metrics=<f>    dump telemetry histograms/counters (OpenMetrics)
  *   --help           print usage (and exit 0)
  * Unknown flags are fatal. A --faults plan is parsed, seeded with the
  * run seed, and armed in the global FaultInjector before returning.
+ * Any of the telemetry flags enables the (otherwise zero-cost) metrics
+ * registry for the whole run.
  */
 BenchOptions parseBenchArgs(int argc, char** argv,
                             const std::string& bench_description);

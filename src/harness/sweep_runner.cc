@@ -9,12 +9,18 @@
 #include <stdexcept>
 #include <thread>
 
+#include "base/atomic_file.hh"
 #include "base/fault.hh"
+#include "base/flight_recorder.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "base/thread_pool.hh"
 #include "base/units.hh"
 #include "obs/host_profiler.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/postmortem.hh"
+#include "obs/progress.hh"
 #include "obs/run_manifest.hh"
 #include "obs/stats_registry.hh"
 #include "obs/trace_session.hh"
@@ -179,11 +185,20 @@ warnStreamWorkload(const FsbStreamMeta& meta, const std::string& source,
  *    attempt number is passed in so callers can rebuild a poisoned rig
  *  - fault points: "cell.throw" (throws FaultInjected) and "cell.hang"
  *    (naps past the watchdog) fire here, inside the guarded window
- *  - watchdog: with --cell-timeout, an attempt whose wall-clock
- *    exceeds the budget is marked failed. The check is cooperative
- *    (post-hoc), matching the repo's no-detached-threads rule: a cell
- *    stuck in a non-returning syscall still needs an external kill,
- *    but every in-simulator stall is caught on completion
+ *  - watchdog: with --cell-timeout, an attempt is marked failed when
+ *    its heartbeat was *silent* longer than the budget (so a slow but
+ *    beating cell is never killed while a wedged one still is); when
+ *    no heartbeat exists -- telemetry off, or a path that never beats,
+ *    like a serial replay -- the budget bounds total wall time as
+ *    before. The check is cooperative (post-hoc), matching the repo's
+ *    no-detached-threads rule: a cell stuck in a non-returning syscall
+ *    still needs an external kill, but every in-simulator stall is
+ *    caught on completion
+ *  - telemetry: cell lifecycle events flow into @p progress (when
+ *    non-null, with @p cell_idx addressing this cell's row), the
+ *    flight recorder gets attempt markers, and every failed attempt
+ *    drops "<outDir>/postmortem.json" naming the cell and -- via the
+ *    fault injector's site report -- what was injected
  *  - stats hygiene: a failed attempt's @p stats_prefix namespace is
  *    dropped from the global registry, so run artifacts never carry a
  *    half-populated cell
@@ -193,14 +208,25 @@ warnStreamWorkload(const FsbStreamMeta& meta, const std::string& source,
  */
 CellOutput
 runGuardedCell(const std::string& label, const std::string& stats_prefix,
-               const BenchOptions& opts,
-               const std::function<CellOutput(unsigned)>& attempt)
+               const BenchOptions& opts, obs::SweepProgress* progress,
+               std::size_t cell_idx,
+               const std::function<CellOutput(unsigned,
+                                              obs::HeartbeatSlot*)>& attempt)
 {
+    obs::HeartbeatSlot* slot =
+        progress != nullptr ? progress->slot(cell_idx) : nullptr;
     const unsigned max_attempts = opts.retryCells + 1;
     std::string last_error;
+    double last_secs = 0.0;
     for (unsigned a = 1; a <= max_attempts; ++a) {
+        obs::setPostmortemContext(label, a);
+        FlightRecorder::setThreadLabel("cell/" + label);
+        FlightRecorder::note(FrKind::CellAttempt, "sweep.cell", a,
+                             cell_idx);
+        if (progress != nullptr)
+            progress->cellStarted(cell_idx, a);
+        const auto t0 = std::chrono::steady_clock::now();
         try {
-            const auto t0 = std::chrono::steady_clock::now();
             COSIM_FAULT_POINT("cell.throw");
             if (faultPending("cell.hang")) {
                 const double nap = opts.cellTimeout > 0.0
@@ -209,24 +235,83 @@ runGuardedCell(const std::string& label, const std::string& stats_prefix,
                 std::this_thread::sleep_for(
                     std::chrono::duration<double>(nap));
             }
-            CellOutput cell = attempt(a);
+            CellOutput cell = attempt(a, slot);
             const double secs = std::chrono::duration<double>(
                                     std::chrono::steady_clock::now() - t0)
                                     .count();
-            if (opts.cellTimeout > 0.0 && secs > opts.cellTimeout) {
-                throw std::runtime_error(strFormat(
-                    "cell exceeded --cell-timeout (%.2fs > %.2fs)", secs,
-                    opts.cellTimeout));
+            if (opts.cellTimeout > 0.0) {
+                if (slot != nullptr && slot->watch().beats() > 0) {
+                    const double gap =
+                        static_cast<double>(slot->watch().maxGapUs()) /
+                        1e6;
+                    if (gap > opts.cellTimeout) {
+                        throw std::runtime_error(strFormat(
+                            "cell exceeded --cell-timeout (silent for "
+                            "%.2fs > %.2fs)", gap, opts.cellTimeout));
+                    }
+                } else if (secs > opts.cellTimeout) {
+                    throw std::runtime_error(strFormat(
+                        "cell exceeded --cell-timeout (%.2fs > %.2fs)",
+                        secs, opts.cellTimeout));
+                }
             }
             cell.mw.status = a > 1 ? "retried" : "ok";
             cell.mw.attempts = a;
+            FlightRecorder::note(FrKind::CellDone, "sweep.cell", a,
+                                 cell_idx);
+            if (progress != nullptr)
+                progress->cellFinished(cell_idx, true, secs, "");
+            if (obs::metrics::enabled()) {
+                static const obs::metrics::Histogram wall_ms =
+                    obs::metrics::histogram(
+                        "sweep.cell_wall_ms",
+                        "wall-clock of successful cell attempts (ms)");
+                static const obs::metrics::Counter cells_ok =
+                    obs::metrics::counter("sweep.cells_ok",
+                                          "cells that finished ok");
+                static const obs::metrics::Counter cells_retried =
+                    obs::metrics::counter(
+                        "sweep.cells_retried",
+                        "cells that finished after a retry");
+                wall_ms.record(static_cast<std::uint64_t>(secs * 1e3));
+                cells_ok.inc();
+                if (a > 1)
+                    cells_retried.inc();
+            }
             return cell;
         } catch (const std::exception& e) {
+            last_secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
             obs::StatsRegistry::global().removePrefix(stats_prefix);
             last_error = e.what();
             warn("sweep cell %s failed (attempt %u/%u): %s",
                  label.c_str(), a, max_attempts, e.what());
+            if (progress != nullptr) {
+                const auto* injected =
+                    dynamic_cast<const FaultInjected*>(&e);
+                if (injected != nullptr) {
+                    progress->cellFault(cell_idx, injected->site(),
+                                        injected->hit());
+                }
+                if (a < max_attempts)
+                    progress->cellRetried(cell_idx, a + 1, last_error);
+            }
+            obs::PostmortemInfo pm;
+            pm.reason = "cell_failed";
+            pm.cell = label;
+            pm.attempt = a;
+            pm.error = last_error;
+            obs::writePostmortem(opts.outDir + "/postmortem.json", pm);
         }
+    }
+    if (progress != nullptr)
+        progress->cellFinished(cell_idx, false, last_secs, last_error);
+    if (obs::metrics::enabled()) {
+        static const obs::metrics::Counter cells_failed =
+            obs::metrics::counter("sweep.cells_failed",
+                                  "cells whose every attempt failed");
+        cells_failed.inc();
     }
     CellOutput cell;
     cell.failed = true;
@@ -344,7 +429,8 @@ replayCombinedCell(CoSimulation& cosim, const std::string& name,
 CellOutput
 runExecCell(const std::string& name, std::size_t config_index,
             const DragonheadParams& emu, const std::string& tick,
-            const PlatformParams& platform, const BenchOptions& opts)
+            const PlatformParams& platform, const BenchOptions& opts,
+            obs::HeartbeatSlot* beat)
 {
     TRACE_SPAN("sweep", "cell.exec");
 
@@ -354,6 +440,7 @@ runExecCell(const std::string& name, std::size_t config_index,
     params.emulationThreads = opts.emuThreads;
     params.degradeToSerial = opts.degradeSerial;
     CoSimulation rig(params);
+    rig.setHeartbeat(beat);
 
     auto workload = createWorkload(name, opts.scale);
     WorkloadConfig cfg;
@@ -423,7 +510,7 @@ struct WorkloadStream
 WorkloadStream
 captureWorkloadStream(const std::string& name,
                       const PlatformParams& platform,
-                      const BenchOptions& opts)
+                      const BenchOptions& opts, obs::HeartbeatSlot* beat)
 {
     WorkloadStream ws;
     if (!opts.replayBase.empty()) {
@@ -436,6 +523,7 @@ captureWorkloadStream(const std::string& name,
     CoSimParams params;
     params.platform = platform;
     CoSimulation rig(params);
+    rig.setHeartbeat(beat);
 
     auto workload = createWorkload(name, opts.scale);
     WorkloadConfig cfg;
@@ -473,7 +561,7 @@ CellOutput
 replayConfigCell(const WorkloadStream& ws, const std::string& name,
                  std::size_t config_index, const DragonheadParams& emu,
                  const std::string& tick, const PlatformParams& platform,
-                 const BenchOptions& opts)
+                 const BenchOptions& opts, obs::HeartbeatSlot* beat)
 {
     TRACE_SPAN("sweep", "cell.replay");
 
@@ -483,6 +571,7 @@ replayConfigCell(const WorkloadStream& ws, const std::string& name,
     params.emulationThreads = opts.emuThreads;
     params.degradeToSerial = opts.degradeSerial;
     CoSimulation rig(params);
+    rig.setHeartbeat(beat);
 
     ReplayResult details;
     RunResult result = ws.buffer
@@ -603,11 +692,31 @@ mergeWorkloadCells(const std::string& name, const CellOutput* base,
 std::vector<CellOutput>
 runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
                   const std::vector<DragonheadParams>& emulators,
-                  const std::vector<std::string>& ticks)
+                  const std::vector<std::string>& ticks,
+                  obs::SweepProgress* progress)
 {
     const std::size_t n_w = opts.workloads.size();
     const std::size_t n_c = emulators.size();
     const bool replay = opts.cells == CellMode::Replay;
+
+    // Register every row up front so the live view shows the whole
+    // sweep (pending cells included) from the first tick.
+    std::vector<std::size_t> cap_rows(n_w, 0);
+    std::vector<std::size_t> cfg_rows(n_w * n_c, 0);
+    if (progress != nullptr) {
+        if (replay && opts.replayBase.empty()) {
+            for (std::size_t w = 0; w < n_w; ++w) {
+                cap_rows[w] =
+                    progress->addCell(opts.workloads[w] + "/capture");
+            }
+        }
+        for (std::size_t w = 0; w < n_w; ++w) {
+            for (std::size_t c = 0; c < n_c; ++c) {
+                cfg_rows[w * n_c + c] =
+                    progress->addCell(opts.workloads[w] + "/" + ticks[c]);
+            }
+        }
+    }
 
     std::vector<WorkloadStream> streams(replay ? n_w : 0);
     if (replay && !opts.replayBase.empty()) {
@@ -625,8 +734,10 @@ runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
             WorkloadStream ws;
             ws.base = runGuardedCell(
                 name + "/capture", "cell/" + name + "/capture/", opts,
-                [&](unsigned) {
-                    ws = captureWorkloadStream(name, platform, opts);
+                progress, cap_rows[w],
+                [&](unsigned, obs::HeartbeatSlot* beat) {
+                    ws = captureWorkloadStream(name, platform, opts,
+                                               beat);
                     return ws.base;
                 });
             return ws;
@@ -665,16 +776,21 @@ runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
             cell.mw.status = "failed";
             cell.mw.attempts = streams[w].base.mw.attempts;
             cell.mw.error = "capture failed: " + streams[w].base.mw.error;
+            if (progress != nullptr) {
+                progress->cellFinished(cfg_rows[w * n_c + c], false, 0.0,
+                                       cell.mw.error);
+            }
             return cell;
         }
         return runGuardedCell(
-            label, "cell/" + name + "/" + ticks[c] + "/", opts,
-            [&, w, c](unsigned) {
+            label, "cell/" + name + "/" + ticks[c] + "/", opts, progress,
+            cfg_rows[w * n_c + c],
+            [&, w, c](unsigned, obs::HeartbeatSlot* beat) {
                 return replay
                     ? replayConfigCell(streams[w], name, c, emulators[c],
-                                       ticks[c], platform, opts)
+                                       ticks[c], platform, opts, beat)
                     : runExecCell(name, c, emulators[c], ticks[c],
-                                  platform, opts);
+                                  platform, opts, beat);
             });
     };
 
@@ -733,6 +849,42 @@ SweepRunner::runFigure(const std::string& figure_id,
 
     const std::size_t n_cells = opts_.workloads.size();
 
+    // Whatever kills this run -- a failed cell, a fatal() in an
+    // artifact writer -- a postmortem lands next to the run artifacts.
+    obs::installFatalPostmortem(opts_.outDir + "/postmortem.json");
+
+    // Live telemetry. Declared before the rigs vector below so cells'
+    // heartbeat slots outlive every rig that publishes into them.
+    std::unique_ptr<obs::SweepProgress> progress;
+    if (opts_.progress || !opts_.progressFile.empty()) {
+        obs::SweepProgress::Options popts;
+        popts.tty = opts_.progress;
+        popts.file = opts_.progressFile;
+        try {
+            progress = std::make_unique<obs::SweepProgress>(popts);
+        } catch (const IoError& e) {
+            fatal("progress: %s", e.what());
+        }
+    }
+    std::size_t total_cells = n_cells;
+    if (opts_.cells != CellMode::Combined) {
+        total_cells = n_cells * emulators.size();
+        if (opts_.cells == CellMode::Replay && opts_.replayBase.empty())
+            total_cells += n_cells;
+    }
+    if (progress != nullptr) {
+        if (opts_.cells == CellMode::Combined) {
+            // Row i is workload i; per-config modes register their own
+            // rows inside runPerConfigCells.
+            for (const std::string& name : opts_.workloads)
+                progress->addCell(name);
+        }
+        progress->start();
+        progress->event("sweep_start",
+                        "\"figure\":" + obs::json::quote(figure_id) +
+                            ",\"cells\":" + std::to_string(total_cells));
+    }
+
     obs::RunManifest manifest;
     manifest.figureId = figure_id;
     manifest.platform = platform.name;
@@ -782,8 +934,8 @@ SweepRunner::runFigure(const std::string& figure_id,
         auto run_cell = [&](std::size_t i) {
             const std::string& name = opts_.workloads[i];
             return runGuardedCell(
-                name, "cell/" + name + "/", opts_,
-                [&, i](unsigned attempt_no) {
+                name, "cell/" + name + "/", opts_, progress.get(), i,
+                [&, i](unsigned attempt_no, obs::HeartbeatSlot* beat) {
                     std::unique_ptr<CoSimulation>& rig =
                         rigs[isolate ? i : 0];
                     if (attempt_no > 1 && isolate) {
@@ -792,6 +944,7 @@ SweepRunner::runFigure(const std::string& figure_id,
                         // on a fresh one.
                         rig = std::make_unique<CoSimulation>(params);
                     }
+                    rig->setHeartbeat(beat);
                     return replay
                         ? replayCombinedCell(*rig, name, platform, opts_)
                         : runCombinedCell(*rig, name, platform, opts_);
@@ -821,12 +974,29 @@ SweepRunner::runFigure(const std::string& figure_id,
     } else {
         manifest.hostJobs = opts_.jobs;
         manifest.emulationThreads = opts_.emuThreads;
-        cells = runPerConfigCells(opts_, platform, emulators, ticks);
+        cells = runPerConfigCells(opts_, platform, emulators, ticks,
+                                  progress.get());
     }
     manifest.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall0)
             .count();
+
+    // Close the progress stream before printing the summary (and
+    // before a failed cell can fatal() past the destructors): the
+    // counts are workload rows, matching the summary below.
+    if (progress != nullptr) {
+        std::size_t n_ok = 0;
+        std::size_t n_failed = 0;
+        for (const CellOutput& c : cells)
+            (c.failed ? n_failed : n_ok) += 1;
+        progress->event("sweep_finish",
+                        "\"ok\":" + std::to_string(n_ok) +
+                            ",\"failed\":" + std::to_string(n_failed));
+        progress->stop();
+        if (!opts_.progressFile.empty())
+            inform("progress: %s", opts_.progressFile.c_str());
+    }
 
     // Aggregate in workload order regardless of completion order, so the
     // figure, manifest and digest outputs are deterministic.
@@ -899,6 +1069,12 @@ SweepRunner::runFigure(const std::string& figure_id,
     if (!rigs.empty())
         rigs.back()->registerStats(registry);
     registry.add(obs::HostProfiler::global().statsGroup());
+    if (obs::metrics::enabled()) {
+        // Telemetry scalars (counter values, histogram count/sum/mean)
+        // ride the same dumpers as every other stats group.
+        registry.add(
+            obs::metrics::Registry::global().statsGroup("metrics"));
+    }
 
     if (manifest.captureTxns > 0) {
         stats::Group g("capture");
@@ -932,6 +1108,18 @@ SweepRunner::runFigure(const std::string& figure_id,
                  opts_.digestFile.c_str());
         digests.writeFile(opts_.digestFile);
         inform("digests: %s", opts_.digestFile.c_str());
+    }
+
+    if (!opts_.metricsFile.empty()) {
+        try {
+            writeFileAtomic(opts_.metricsFile,
+                            obs::metrics::renderOpenMetrics(
+                                obs::metrics::Registry::global()
+                                    .snapshot()));
+        } catch (const IoError& e) {
+            fatal("metrics: %s", e.what());
+        }
+        inform("metrics: %s", opts_.metricsFile.c_str());
     }
 
     const obs::HostProfiler& prof = obs::HostProfiler::global();

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <utility>
 #include <vector>
@@ -38,6 +39,21 @@ class HostProfiler
         std::uint64_t calls = 0;
     };
 
+    /**
+     * One timestamped MIPS gauge sample: the speed of a single
+     * addSimulated() slice, stamped with the process-wide monotonic
+     * clock (base/host_clock.hh). Worker threads feed the gauge
+     * concurrently; stamping with the shared origin keeps these
+     * samples on the same time axis as TraceSession host spans and
+     * heartbeats -- including across reset(), which clears the ring
+     * but never moves the clock.
+     */
+    struct MipsSample
+    {
+        std::uint64_t tUs = 0;
+        double mips = 0.0;
+    };
+
     /** The process-wide profiler. */
     static HostProfiler& global();
 
@@ -46,6 +62,13 @@ class HostProfiler
 
     /** Feed the MIPS gauge: @p insts simulated in @p seconds. */
     void addSimulated(std::uint64_t insts, double seconds);
+
+    /**
+     * The most recent MIPS gauge samples (up to kMaxMipsSamples), in
+     * chronological order. Timestamps are strictly non-decreasing,
+     * even across reset().
+     */
+    std::vector<MipsSample> mipsSamples() const;
 
     /**
      * Record that @p n host threads emulated Dragonheads this process.
@@ -86,6 +109,9 @@ class HostProfiler
 
     void reset();
 
+    /** Ring capacity of the MIPS gauge sample history. */
+    static constexpr std::size_t kMaxMipsSamples = 256;
+
   private:
     PhaseTotal& phase(const std::string& name) REQUIRES(mutex_);
 
@@ -93,6 +119,7 @@ class HostProfiler
     // the profiler concurrently.
     mutable Mutex mutex_;
     std::vector<PhaseTotal> phases_ GUARDED_BY(mutex_);
+    std::deque<MipsSample> mipsSamples_ GUARDED_BY(mutex_);
     std::uint64_t simInsts_ GUARDED_BY(mutex_) = 0;
     double simSeconds_ GUARDED_BY(mutex_) = 0.0;
     unsigned emuThreads_ GUARDED_BY(mutex_) = 0;

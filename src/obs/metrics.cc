@@ -1,0 +1,338 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.hh"
+
+namespace cosim {
+namespace obs {
+namespace metrics {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_uid{1};
+
+/**
+ * Per-thread pointer cache: maps a registry uid to the shard this
+ * thread records into. Four entries cover the realistic case (the
+ * global registry plus a couple of test-local ones); an evicted entry
+ * just means the thread lazily creates another shard for that
+ * registry, which is harmless -- snapshots sum across all shards.
+ */
+struct TlsCacheEntry
+{
+    std::uint64_t uid = 0; // 0 = empty
+    void* shard = nullptr;
+};
+
+thread_local TlsCacheEntry tls_cache[4];
+thread_local unsigned tls_cache_next = 0;
+
+} // namespace
+
+/** One thread's private slice of every metric: plain relaxed atomics,
+ * written by the owning thread, summed by snapshot(). */
+struct Registry::Shard
+{
+    std::atomic<std::uint64_t> counters[kMaxCounters];
+
+    struct Hist
+    {
+        std::atomic<std::uint64_t> count;
+        std::atomic<std::uint64_t> sum;
+        std::atomic<std::uint64_t> buckets[kHistBuckets];
+    };
+
+    Hist hists[kMaxHistograms];
+
+    Shard() { zero(); }
+
+    void
+    zero()
+    {
+        for (auto& c : counters)
+            c.store(0, std::memory_order_relaxed);
+        for (auto& h : hists) {
+            h.count.store(0, std::memory_order_relaxed);
+            h.sum.store(0, std::memory_order_relaxed);
+            for (auto& b : h.buckets)
+                b.store(0, std::memory_order_relaxed);
+        }
+    }
+};
+
+Registry&
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+Registry::Registry()
+    : uid_(g_next_uid.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+Registry::~Registry() = default;
+
+void
+Registry::validateName(const std::string& name) const
+{
+    bool ok = !name.empty() && name[0] >= 'a' && name[0] <= 'z';
+    for (char c : name) {
+        if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+              c == '_' || c == '.'))
+            ok = false;
+    }
+    panic_if(!ok,
+             "metrics: invalid metric name '%s' "
+             "(want [a-z][a-z0-9_.]*)",
+             name.c_str());
+    for (const Meta& m : counters_)
+        panic_if(m.name == name, "metrics: metric '%s' registered twice",
+                 name.c_str());
+    for (const Meta& m : histograms_)
+        panic_if(m.name == name, "metrics: metric '%s' registered twice",
+                 name.c_str());
+}
+
+Counter
+Registry::counter(const std::string& name, const std::string& help)
+{
+    LockGuard lock(mutex_);
+    validateName(name);
+    panic_if(counters_.size() >= kMaxCounters,
+             "metrics: counter capacity (%zu) exhausted",
+             kMaxCounters);
+    counters_.push_back(Meta{name, help});
+    return Counter(this,
+                   static_cast<std::uint32_t>(counters_.size() - 1));
+}
+
+Histogram
+Registry::histogram(const std::string& name, const std::string& help)
+{
+    LockGuard lock(mutex_);
+    validateName(name);
+    panic_if(histograms_.size() >= kMaxHistograms,
+             "metrics: histogram capacity (%zu) exhausted",
+             kMaxHistograms);
+    histograms_.push_back(Meta{name, help});
+    return Histogram(this,
+                     static_cast<std::uint32_t>(histograms_.size() - 1));
+}
+
+Registry::Shard&
+Registry::localShard()
+{
+    for (const TlsCacheEntry& e : tls_cache) {
+        if (e.uid == uid_)
+            return *static_cast<Shard*>(e.shard);
+    }
+    return localShardSlow();
+}
+
+Registry::Shard&
+Registry::localShardSlow()
+{
+    auto shard = std::make_unique<Shard>();
+    Shard* raw = shard.get();
+    {
+        LockGuard lock(mutex_);
+        shards_.push_back(std::move(shard));
+    }
+    TlsCacheEntry& slot = tls_cache[tls_cache_next % 4];
+    ++tls_cache_next;
+    slot.uid = uid_;
+    slot.shard = raw;
+    return *raw;
+}
+
+void
+Counter::add(std::uint64_t n) const
+{
+    if (reg_ == nullptr || !reg_->enabled())
+        return;
+    reg_->localShard().counters[id_].fetch_add(
+        n, std::memory_order_relaxed);
+}
+
+void
+Histogram::record(std::uint64_t value) const
+{
+    if (reg_ == nullptr || !reg_->enabled())
+        return;
+    Registry::Shard::Hist& h = reg_->localShard().hists[id_];
+    h.count.fetch_add(1, std::memory_order_relaxed);
+    h.sum.fetch_add(value, std::memory_order_relaxed);
+    h.buckets[bucketIndex(value)].fetch_add(1,
+                                            std::memory_order_relaxed);
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    LockGuard lock(mutex_);
+    Snapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const Meta& m : counters_)
+        snap.counters.push_back(Snapshot::CounterValue{m.name, m.help, 0});
+    snap.histograms.reserve(histograms_.size());
+    for (const Meta& m : histograms_) {
+        Snapshot::HistogramValue h;
+        h.name = m.name;
+        h.help = m.help;
+        snap.histograms.push_back(std::move(h));
+    }
+    for (const auto& shard : shards_) {
+        for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+            snap.counters[i].value +=
+                shard->counters[i].load(std::memory_order_relaxed);
+        }
+        for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+            const Shard::Hist& sh = shard->hists[i];
+            Snapshot::HistogramValue& h = snap.histograms[i];
+            h.count += sh.count.load(std::memory_order_relaxed);
+            h.sum += sh.sum.load(std::memory_order_relaxed);
+            for (std::size_t b = 0; b < kHistBuckets; ++b) {
+                h.buckets[b] +=
+                    sh.buckets[b].load(std::memory_order_relaxed);
+            }
+        }
+    }
+    return snap;
+}
+
+void
+Registry::resetValues()
+{
+    LockGuard lock(mutex_);
+    for (const auto& shard : shards_)
+        shard->zero();
+}
+
+std::size_t
+Registry::size() const
+{
+    LockGuard lock(mutex_);
+    return counters_.size() + histograms_.size();
+}
+
+stats::Group
+Registry::statsGroup(const std::string& name) const
+{
+    Snapshot snap = snapshot();
+    stats::Group group(name);
+    for (const Snapshot::CounterValue& c : snap.counters) {
+        double v = static_cast<double>(c.value);
+        group.add(c.name, [v] { return v; });
+    }
+    for (const Snapshot::HistogramValue& h : snap.histograms) {
+        double count = static_cast<double>(h.count);
+        double sum = static_cast<double>(h.sum);
+        group.add(h.name + ".count", [count] { return count; });
+        group.add(h.name + ".sum", [sum] { return sum; });
+        group.add(h.name + ".mean",
+                  [count, sum] { return stats::safeRatio(sum, count); });
+    }
+    return group;
+}
+
+Snapshot
+Snapshot::delta(const Snapshot& now, const Snapshot& prev)
+{
+    std::map<std::string, const CounterValue*> prev_counters;
+    for (const CounterValue& c : prev.counters)
+        prev_counters[c.name] = &c;
+    std::map<std::string, const HistogramValue*> prev_hists;
+    for (const HistogramValue& h : prev.histograms)
+        prev_hists[h.name] = &h;
+
+    Snapshot out = now;
+    for (CounterValue& c : out.counters) {
+        auto it = prev_counters.find(c.name);
+        if (it != prev_counters.end())
+            c.value -= std::min(c.value, it->second->value);
+    }
+    for (HistogramValue& h : out.histograms) {
+        auto it = prev_hists.find(h.name);
+        if (it == prev_hists.end())
+            continue;
+        const HistogramValue& p = *it->second;
+        h.count -= std::min(h.count, p.count);
+        h.sum -= std::min(h.sum, p.sum);
+        for (std::size_t b = 0; b < kHistBuckets; ++b)
+            h.buckets[b] -= std::min(h.buckets[b], p.buckets[b]);
+    }
+    return out;
+}
+
+Counter
+counter(const std::string& name, const std::string& help)
+{
+    return Registry::global().counter(name, help);
+}
+
+Histogram
+histogram(const std::string& name, const std::string& help)
+{
+    return Registry::global().histogram(name, help);
+}
+
+namespace {
+
+std::string
+expositionName(const std::string& name)
+{
+    std::string out = "cosim_";
+    for (char c : name)
+        out += c == '.' ? '_' : c;
+    return out;
+}
+
+} // namespace
+
+std::string
+renderOpenMetrics(const Snapshot& snap)
+{
+    std::string out;
+    for (const Snapshot::CounterValue& c : snap.counters) {
+        const std::string n = expositionName(c.name);
+        out += "# TYPE " + n + " counter\n";
+        if (!c.help.empty())
+            out += "# HELP " + n + " " + c.help + "\n";
+        out += n + "_total " + std::to_string(c.value) + "\n";
+    }
+    for (const Snapshot::HistogramValue& h : snap.histograms) {
+        const std::string n = expositionName(h.name);
+        out += "# TYPE " + n + " histogram\n";
+        if (!h.help.empty())
+            out += "# HELP " + n + " " + h.help + "\n";
+        // Cumulative buckets up to the highest occupied one; the +Inf
+        // bucket carries the total, as the format requires.
+        std::size_t top = 0;
+        for (std::size_t b = 0; b < kHistBuckets; ++b) {
+            if (h.buckets[b] != 0)
+                top = b;
+        }
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b <= top && b + 1 < kHistBuckets; ++b) {
+            cumulative += h.buckets[b];
+            out += n + "_bucket{le=\"" +
+                   std::to_string(
+                       bucketUpperBound(static_cast<unsigned>(b))) +
+                   "\"} " + std::to_string(cumulative) + "\n";
+        }
+        out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) +
+               "\n";
+        out += n + "_count " + std::to_string(h.count) + "\n";
+        out += n + "_sum " + std::to_string(h.sum) + "\n";
+    }
+    out += "# EOF\n";
+    return out;
+}
+
+} // namespace metrics
+} // namespace obs
+} // namespace cosim

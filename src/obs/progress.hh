@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Live sweep progress: heartbeats, a TTY view, and progress.jsonl.
+ *
+ * A multi-hour sweep must be observable while it runs and diagnosable
+ * after it is killed. Three cooperating pieces:
+ *
+ *  - CellWatch / HeartbeatSlot: the producer side. Simulation threads
+ *    publish liveness with relaxed atomic stores only -- the DEX
+ *    scheduler beats once per time slice (every 50k-instruction
+ *    quantum), the emulator bank publishes queue depth, the platform
+ *    beats across setup/run boundaries. No locks, no I/O, no
+ *    allocation on any workload thread; acceptance for --progress is
+ *    that it adds *no blocking I/O* to workload threads.
+ *
+ *  - SweepProgress: the consumer side. One sampler thread polls every
+ *    slot at a fixed period, derives per-cell MIPS from deltas,
+ *    renders a one-line-per-cell live view to stderr (--progress;
+ *    ANSI redraw on a TTY, plain appended lines otherwise), and
+ *    appends machine-readable events to progress.jsonl
+ *    (--progress-file). Cell lifecycle events (start/retry/fault/
+ *    finish) are enqueued by the sweep threads as preformatted
+ *    strings under a brief mutex and written out by the sampler, so
+ *    file I/O never happens on a thread that runs simulation.
+ *
+ *  - ProgressStream: the JSONL appender. Every line is one complete
+ *    JSON object `{"seq":N,"t_us":T,"event":"...",...}` written and
+ *    flushed through base/atomic_file.hh's AppendFile, so the on-disk
+ *    file is always well-formed line-by-line with densely increasing
+ *    seq -- the wire format a future sweep service consumes, and what
+ *    `cosim_inspect progress` validates in CI.
+ *
+ * Event vocabulary (all carry "seq" and "t_us"):
+ *   sweep_start  figure, cells
+ *   cell_start   cell, attempt
+ *   heartbeat    cell, quanta, insts, sim_ms, mips, queue_peak
+ *   cell_retry   cell, attempt, error
+ *   fault        cell, site, hit
+ *   cell_finish  cell, status ("ok"|"failed"), wall_s [, error]
+ *   sweep_finish ok, failed
+ *
+ * CellWatch additionally powers --cell-timeout: the watchdog question
+ * changes from "did the cell take too long?" to "has the cell been
+ * *silent* too long?", so a slow but heartbeating cell is never
+ * killed while a wedged one still is (see harness/sweep_runner.cc).
+ */
+
+#ifndef COSIM_OBS_PROGRESS_HH
+#define COSIM_OBS_PROGRESS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/annotations.hh"
+#include "base/atomic_file.hh"
+#include "base/host_clock.hh"
+#include "base/mutex.hh"
+
+namespace cosim {
+namespace obs {
+
+/** Raise @p a to at least @p v (relaxed; monotone values only). */
+inline void
+atomicMax(std::atomic<std::uint64_t>& a, std::uint64_t v)
+{
+    std::uint64_t cur = a.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+/**
+ * Liveness watchdog for one cell attempt: tracks the largest gap
+ * between consecutive beats. Timestamps are explicit parameters
+ * (defaulting to the shared host clock) so the gap logic is unit
+ * testable without sleeping.
+ */
+class CellWatch
+{
+  public:
+    /** Reset for a fresh attempt; the attempt start counts as a beat. */
+    void
+    beginAttempt(std::uint64_t now_us = hostClockNowUs())
+    {
+        maxGapUs_.store(0, std::memory_order_relaxed);
+        lastBeatUs_.store(now_us, std::memory_order_relaxed);
+        beats_.store(0, std::memory_order_relaxed);
+    }
+
+    void
+    beat(std::uint64_t now_us = hostClockNowUs())
+    {
+        std::uint64_t prev =
+            lastBeatUs_.exchange(now_us, std::memory_order_relaxed);
+        if (now_us > prev)
+            atomicMax(maxGapUs_, now_us - prev);
+        beats_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /**
+     * Largest silence so far, including the still-open gap from the
+     * last beat to @p now_us. This is what --cell-timeout compares
+     * against: a cell that keeps beating keeps this small no matter
+     * how long it runs in total.
+     */
+    std::uint64_t
+    maxGapUs(std::uint64_t now_us = hostClockNowUs()) const
+    {
+        std::uint64_t last = lastBeatUs_.load(std::memory_order_relaxed);
+        std::uint64_t open = now_us > last ? now_us - last : 0;
+        std::uint64_t closed =
+            maxGapUs_.load(std::memory_order_relaxed);
+        return open > closed ? open : closed;
+    }
+
+    std::uint64_t
+    beats() const
+    {
+        return beats_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> lastBeatUs_{0};
+    std::atomic<std::uint64_t> maxGapUs_{0};
+    std::atomic<std::uint64_t> beats_{0};
+};
+
+/**
+ * What one running cell publishes: progress counters plus the
+ * watchdog. All stores relaxed; the sampler and the timeout check are
+ * the only readers.
+ */
+class HeartbeatSlot
+{
+  public:
+    /** One simulation quantum finished: @p insts instructions covering
+     * @p sim_ns of simulated time. */
+    void
+    beat(std::uint64_t insts, std::uint64_t sim_ns,
+         std::uint64_t now_us = hostClockNowUs())
+    {
+        quanta_.fetch_add(1, std::memory_order_relaxed);
+        insts_.fetch_add(insts, std::memory_order_relaxed);
+        simNs_.fetch_add(sim_ns, std::memory_order_relaxed);
+        watch_.beat(now_us);
+    }
+
+    /** Liveness-only beat (setup phases, drain barriers). */
+    void
+    pulse(std::uint64_t now_us = hostClockNowUs())
+    {
+        watch_.beat(now_us);
+    }
+
+    /** Emulator-bank SPSC depth observed after a chunk was queued. */
+    void
+    noteQueueDepth(std::uint64_t depth)
+    {
+        atomicMax(queuePeak_, depth);
+    }
+
+    std::uint64_t
+    quanta() const
+    {
+        return quanta_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    insts() const
+    {
+        return insts_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    simNs() const
+    {
+        return simNs_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    queuePeak() const
+    {
+        return queuePeak_.load(std::memory_order_relaxed);
+    }
+
+    CellWatch& watch() { return watch_; }
+    const CellWatch& watch() const { return watch_; }
+
+  private:
+    std::atomic<std::uint64_t> quanta_{0};
+    std::atomic<std::uint64_t> insts_{0};
+    std::atomic<std::uint64_t> simNs_{0};
+    std::atomic<std::uint64_t> queuePeak_{0};
+    CellWatch watch_;
+};
+
+/** JSONL event appender; see the file comment for the line shape. */
+class ProgressStream
+{
+  public:
+    /** Creates/truncates @p path. @throws IoError when it cannot. */
+    explicit ProgressStream(const std::string& path);
+
+    /**
+     * Append one event line. @p json_fields is a preformatted JSON
+     * fragment ('"cell":"PLSA",...', possibly empty); seq and t_us are
+     * added here so numbering stays dense under concurrency. A failed
+     * write warns once and turns further emits into no-ops.
+     */
+    void emit(const std::string& event, const std::string& json_fields)
+        EXCLUDES(mutex_);
+
+    const std::string& path() const { return file_.path(); }
+
+  private:
+    mutable Mutex mutex_;
+    AppendFile file_ GUARDED_BY(mutex_);
+    std::uint64_t seq_ GUARDED_BY(mutex_) = 0;
+    bool failed_ GUARDED_BY(mutex_) = false;
+};
+
+/** See file comment. */
+class SweepProgress
+{
+  public:
+    struct Options
+    {
+        bool tty = false;         ///< render the live stderr view
+        std::string file;         ///< progress.jsonl path ("" = off)
+        double periodSeconds = 0.25; ///< sampler tick
+    };
+
+    explicit SweepProgress(const Options& opts);
+    ~SweepProgress();
+
+    SweepProgress(const SweepProgress&) = delete;
+    SweepProgress& operator=(const SweepProgress&) = delete;
+
+    /** True when any output (TTY or file) is configured. */
+    bool active() const { return opts_.tty || stream_ != nullptr; }
+
+    /**
+     * Register a cell; the returned index addresses it from then on.
+     * Safe while the sampler runs (entries live in a deque).
+     */
+    std::size_t addCell(const std::string& label) EXCLUDES(mutex_);
+
+    /** The slot cell @p idx's simulation threads publish into. */
+    HeartbeatSlot* slot(std::size_t idx) EXCLUDES(mutex_);
+
+    void cellStarted(std::size_t idx, unsigned attempt) EXCLUDES(mutex_);
+    void cellRetried(std::size_t idx, unsigned attempt,
+                     const std::string& error) EXCLUDES(mutex_);
+    void cellFault(std::size_t idx, const std::string& site,
+                   std::uint64_t hit) EXCLUDES(mutex_);
+    void cellFinished(std::size_t idx, bool ok, double wall_seconds,
+                      const std::string& error) EXCLUDES(mutex_);
+
+    /** Enqueue a non-cell event (sweep_start / sweep_finish). */
+    void event(const std::string& event, const std::string& json_fields)
+        EXCLUDES(mutex_);
+
+    /** Launch the sampler thread (no-op unless active()). */
+    void start();
+
+    /**
+     * Stop the sampler, drain queued events to the stream, and render
+     * a final view. Idempotent; the destructor calls it too.
+     */
+    void stop();
+
+  private:
+    enum class CellState { Pending, Running, Ok, Failed };
+
+    struct CellEntry
+    {
+        std::string label;
+        HeartbeatSlot slot;
+        std::atomic<CellState> state{CellState::Pending};
+        // Sampler-private delta state (only the sampler thread reads
+        // or writes these):
+        std::uint64_t lastInsts = 0;
+        std::uint64_t lastTickUs = 0;
+        double lastMips = 0.0;
+    };
+
+    void samplerLoop();
+    void drainEvents() EXCLUDES(mutex_);
+    void enqueue(const std::string& event, const std::string& fields)
+        EXCLUDES(mutex_);
+    void
+    enqueueLocked(const std::string& event, const std::string& fields)
+        REQUIRES(mutex_)
+    {
+        if (stream_ != nullptr)
+            pending_.push_back(PendingEvent{event, fields});
+    }
+    /** One sampler pass: read slots, stream heartbeats, render TTY. */
+    void tick(bool emit_heartbeats) EXCLUDES(mutex_);
+    std::size_t cellCount() const EXCLUDES(mutex_);
+
+    Options opts_;
+    std::unique_ptr<ProgressStream> stream_;
+
+    mutable Mutex mutex_;
+    // Deque: slot() pointers stay valid as cells are added.
+    std::deque<CellEntry> cells_ GUARDED_BY(mutex_);
+    struct PendingEvent
+    {
+        std::string event;
+        std::string fields;
+    };
+    std::vector<PendingEvent> pending_ GUARDED_BY(mutex_);
+
+    std::atomic<bool> stop_{false};
+    std::thread sampler_;
+    bool started_ = false;
+    unsigned renderedLines_ = 0; ///< sampler/stop thread only
+};
+
+} // namespace obs
+} // namespace cosim
+
+#endif // COSIM_OBS_PROGRESS_HH

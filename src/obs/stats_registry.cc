@@ -1,5 +1,9 @@
 #include "obs/stats_registry.hh"
 
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
 #include "base/atomic_file.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
@@ -15,18 +19,35 @@ StatsRegistry::global()
     return instance;
 }
 
+StatsRegistry::Shard&
+StatsRegistry::shardFor(const std::string& name)
+{
+    return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
+const StatsRegistry::Shard&
+StatsRegistry::shardFor(const std::string& name) const
+{
+    return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
 stats::Group&
 StatsRegistry::add(stats::Group group)
 {
-    LockGuard lock(mutex_);
-    for (stats::Group& g : groups_) {
-        if (g.name() == group.name()) {
-            g = std::move(group);
-            return g;
+    Shard& shard = shardFor(group.name());
+    LockGuard lock(shard.mutex);
+    for (Entry& e : shard.groups) {
+        if (e.group.name() == group.name()) {
+            // Replacement keeps its original sequence number, so
+            // per-run re-registration is idempotent in dump order too.
+            e.group = std::move(group);
+            return e.group;
         }
     }
-    groups_.push_back(std::move(group));
-    return groups_.back();
+    shard.groups.push_back(
+        Entry{nextOrder_.fetch_add(1, std::memory_order_relaxed),
+              std::move(group)});
+    return shard.groups.back().group;
 }
 
 stats::Group&
@@ -39,62 +60,102 @@ void
 StatsRegistry::addSnapshotOf(const StatsRegistry& src,
                              const std::string& prefix)
 {
-    // Collect outside our own lock: evaluating src's formulas may take
-    // arbitrary time, and src may be *this in odd call patterns.
-    std::vector<stats::Group> frozen;
-    {
-        LockGuard lock(src.mutex_);
-        frozen.reserve(src.groups_.size());
-        for (const stats::Group& g : src.groups_) {
-            stats::Group copy(prefix + g.name());
-            for (const auto& [stat_name, value] : g.collect())
-                copy.add(stat_name, [value] { return value; });
-            frozen.push_back(std::move(copy));
-        }
+    // Freeze outside our own locks: evaluating src's formulas may take
+    // arbitrary time, and src may be *this in odd call patterns. The
+    // sort keeps the destination's relative order equal to src's.
+    std::vector<FrozenGroup> frozen = src.collectAll();
+    for (const FrozenGroup& fg : frozen) {
+        stats::Group copy(prefix + fg.name);
+        for (const auto& [stat_name, value] : fg.stats)
+            copy.add(stat_name, [value = value] { return value; });
+        add(std::move(copy));
     }
-    for (stats::Group& g : frozen)
-        add(std::move(g));
 }
 
 void
 StatsRegistry::clear()
 {
-    LockGuard lock(mutex_);
-    groups_.clear();
+    for (Shard& shard : shards_) {
+        LockGuard lock(shard.mutex);
+        shard.groups.clear();
+    }
 }
 
 std::size_t
 StatsRegistry::removePrefix(const std::string& prefix)
 {
-    LockGuard lock(mutex_);
-    const std::size_t before = groups_.size();
-    for (auto it = groups_.begin(); it != groups_.end();) {
-        if (it->name().compare(0, prefix.size(), prefix) == 0)
-            it = groups_.erase(it);
-        else
-            ++it;
+    std::size_t removed = 0;
+    for (Shard& shard : shards_) {
+        LockGuard lock(shard.mutex);
+        for (auto it = shard.groups.begin(); it != shard.groups.end();) {
+            if (it->group.name().compare(0, prefix.size(), prefix) == 0) {
+                it = shard.groups.erase(it);
+                ++removed;
+            } else {
+                ++it;
+            }
+        }
     }
-    return before - groups_.size();
+    return removed;
+}
+
+std::size_t
+StatsRegistry::size() const
+{
+    std::size_t n = 0;
+    for (const Shard& shard : shards_) {
+        LockGuard lock(shard.mutex);
+        n += shard.groups.size();
+    }
+    return n;
+}
+
+std::vector<StatsRegistry::FrozenGroup>
+StatsRegistry::collectAll() const
+{
+    std::vector<FrozenGroup> out;
+    for (const Shard& shard : shards_) {
+        LockGuard lock(shard.mutex);
+        for (const Entry& e : shard.groups) {
+            FrozenGroup fg;
+            fg.order = e.order;
+            fg.name = e.group.name();
+            fg.stats = e.group.collect();
+            out.push_back(std::move(fg));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FrozenGroup& a, const FrozenGroup& b) {
+                  return a.order < b.order;
+              });
+    return out;
 }
 
 std::vector<std::string>
 StatsRegistry::groupNames() const
 {
-    LockGuard lock(mutex_);
     std::vector<std::string> out;
-    out.reserve(groups_.size());
-    for (const stats::Group& g : groups_)
-        out.push_back(g.name());
+    std::vector<std::pair<std::uint64_t, std::string>> named;
+    for (const Shard& shard : shards_) {
+        LockGuard lock(shard.mutex);
+        for (const Entry& e : shard.groups)
+            named.emplace_back(e.order, e.group.name());
+    }
+    std::sort(named.begin(), named.end());
+    out.reserve(named.size());
+    for (auto& [order, name] : named)
+        out.push_back(std::move(name));
     return out;
 }
 
 const stats::Group*
 StatsRegistry::find(const std::string& name) const
 {
-    LockGuard lock(mutex_);
-    for (const stats::Group& g : groups_) {
-        if (g.name() == name)
-            return &g;
+    const Shard& shard = shardFor(name);
+    LockGuard lock(shard.mutex);
+    for (const Entry& e : shard.groups) {
+        if (e.group.name() == name)
+            return &e.group;
     }
     return nullptr;
 }
@@ -102,26 +163,30 @@ StatsRegistry::find(const std::string& name) const
 std::string
 StatsRegistry::dumpText() const
 {
-    LockGuard lock(mutex_);
     std::string out;
-    for (const stats::Group& g : groups_)
-        out += g.dump();
+    for (const FrozenGroup& fg : collectAll()) {
+        for (const auto& [stat_name, value] : fg.stats) {
+            char line[256];
+            std::snprintf(line, sizeof(line), "%s.%s %.6g\n",
+                          fg.name.c_str(), stat_name.c_str(), value);
+            out += line;
+        }
+    }
     return out;
 }
 
 std::string
 StatsRegistry::dumpJson() const
 {
-    LockGuard lock(mutex_);
     std::string out = "{";
     bool first_group = true;
-    for (const stats::Group& g : groups_) {
+    for (const FrozenGroup& fg : collectAll()) {
         if (!first_group)
             out += ",";
         first_group = false;
-        out += "\n  " + json::quote(g.name()) + ": {";
+        out += "\n  " + json::quote(fg.name) + ": {";
         bool first_stat = true;
-        for (const auto& [stat_name, value] : g.collect()) {
+        for (const auto& [stat_name, value] : fg.stats) {
             if (!first_stat)
                 out += ",";
             first_stat = false;
@@ -137,12 +202,11 @@ StatsRegistry::dumpJson() const
 std::string
 StatsRegistry::dumpCsv() const
 {
-    LockGuard lock(mutex_);
     std::string out = "stat,value\n";
-    for (const stats::Group& g : groups_) {
-        for (const auto& [stat_name, value] : g.collect()) {
-            out += g.name() + "." + stat_name + "," +
-                   json::number(value) + "\n";
+    for (const FrozenGroup& fg : collectAll()) {
+        for (const auto& [stat_name, value] : fg.stats) {
+            out += fg.name + "." + stat_name + "," + json::number(value) +
+                   "\n";
         }
     }
     return out;

@@ -21,13 +21,24 @@
  * Registration and dumping are mutex-protected so parallel sweep cells
  * can register concurrently; the *formulas themselves* still read
  * component state unlocked, so dump only while the components are quiet.
+ *
+ * Locking is striped: groups spread across 16 shards by a hash of
+ * their name, so a --jobs=N sweep whose cells snapshot hundreds of
+ * per-cell namespaces concurrently contends on different mutexes
+ * instead of serializing on one (bench/microbench_mips.cc measures
+ * the registration path). Every group carries a global registration
+ * sequence number and all dumps sort by it, so output order is
+ * exactly the registration order the single-mutex registry produced.
  */
 
 #ifndef COSIM_OBS_STATS_REGISTRY_HH
 #define COSIM_OBS_STATS_REGISTRY_HH
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/annotations.hh"
@@ -75,11 +86,7 @@ class StatsRegistry
      */
     std::size_t removePrefix(const std::string& prefix);
 
-    std::size_t size() const
-    {
-        LockGuard lock(mutex_);
-        return groups_.size();
-    }
+    std::size_t size() const;
 
     /** Registered group names, in registration order. */
     std::vector<std::string> groupNames() const;
@@ -103,9 +110,39 @@ class StatsRegistry
     void writeFile(const std::string& path) const;
 
   private:
-    // Deque: references returned by add() stay valid as groups are added.
-    std::deque<stats::Group> groups_ GUARDED_BY(mutex_);
-    mutable Mutex mutex_;
+    struct Entry
+    {
+        std::uint64_t order; ///< global registration sequence
+        stats::Group group;
+    };
+
+    /** One lock stripe; see the file comment. */
+    struct Shard
+    {
+        mutable Mutex mutex;
+        // Deque: references returned by add() stay valid as entries
+        // are added to the shard.
+        std::deque<Entry> groups GUARDED_BY(mutex);
+    };
+
+    static constexpr std::size_t kShards = 16;
+
+    Shard& shardFor(const std::string& name);
+    const Shard& shardFor(const std::string& name) const;
+
+    /** One group's stats frozen to values, for order-sorted dumps. */
+    struct FrozenGroup
+    {
+        std::uint64_t order = 0;
+        std::string name;
+        std::vector<std::pair<std::string, double>> stats;
+    };
+
+    /** Evaluate every group (per-shard locking), registration-sorted. */
+    std::vector<FrozenGroup> collectAll() const;
+
+    Shard shards_[kShards];
+    std::atomic<std::uint64_t> nextOrder_{0};
 };
 
 } // namespace obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/atomic_file.hh"
+#include "base/host_clock.hh"
 #include "base/logging.hh"
 #include "obs/json.hh"
 
@@ -21,10 +22,10 @@ TraceSession::start()
 {
     LockGuard lock(mutex_);
     events_.clear();
-    origin_ = std::chrono::steady_clock::now();
-    // Release pairs with the acquire in active(): a thread that sees
-    // active_ == true is guaranteed to see the origin_ written above,
-    // so its hostNowUs() timestamps are relative to this session.
+    // The host-time origin is deliberately NOT captured here: it is
+    // the process-wide one from base/host_clock.hh, pinned at first
+    // use. Re-capturing per start() is what used to skew host spans
+    // against control-block tracks and profiler gauges after a reset.
     active_.store(true, std::memory_order_release);
 }
 
@@ -37,9 +38,7 @@ TraceSession::stop()
 double
 TraceSession::hostNowUs() const
 {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - origin_)
-        .count();
+    return static_cast<double>(hostClockNowUs());
 }
 
 void

@@ -23,7 +23,6 @@
 #define COSIM_OBS_TRACE_SESSION_HH
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -71,14 +70,19 @@ class TraceSession
     /** Stop collecting; collected events stay available for export. */
     void stop();
 
-    /** True while a session is collecting (hot-path gate). Acquire:
-     * seeing true also publishes the origin_ start() wrote. */
+    /** True while a session is collecting (hot-path gate). */
     bool active() const
     {
         return active_.load(std::memory_order_acquire);
     }
 
-    /** Host-clock timestamp: microseconds since start(). */
+    /**
+     * Host-clock timestamp: microseconds since the process-wide
+     * monotonic origin (base/host_clock.hh). The origin never moves,
+     * so spans recorded before and after a stop()/start() restart stay
+     * on one axis, comparable with heartbeat, flight-recorder, and
+     * HostProfiler gauge timestamps.
+     */
     double hostNowUs() const;
 
     /** @name Recording (no-ops unless active) @{ */
@@ -116,10 +120,6 @@ class TraceSession
     mutable Mutex mutex_;
     std::atomic<bool> active_{false};
     std::vector<TraceEvent> events_ GUARDED_BY(mutex_);
-    /** Not GUARDED_BY: written in start() before the release store of
-     * active_, read-only (via hostNowUs()) from tracing threads that
-     * observed active() == true. */
-    std::chrono::steady_clock::time_point origin_{};
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "obs/metrics.hh"
 
 namespace cosim {
 
@@ -34,13 +35,24 @@ CpuModel::handleBeyond(Addr fetch_line, bool l1_was_write)
 {
     std::uint32_t bus_line = caches_.busLineSize();
 
+    std::uint64_t beyond_cycles;
     if (params_.useDramLatency) {
-        cyclesAcc_ += static_cast<double>(dram_->demandLatency());
+        beyond_cycles = dram_->demandLatency();
         dram_->addDemandTraffic(bus_line);
     } else {
-        cyclesAcc_ += static_cast<double>(params_.beyondLatency);
+        beyond_cycles = params_.beyondLatency;
         if (dram_ != nullptr)
             dram_->addDemandTraffic(bus_line);
+    }
+    cyclesAcc_ += static_cast<double>(beyond_cycles);
+    if (obs::metrics::enabled()) {
+        // One relaxed load + branch when telemetry is off; the handle
+        // registers once per process.
+        static const obs::metrics::Histogram miss_latency =
+            obs::metrics::histogram(
+                "mem.miss_latency_cycles",
+                "beyond-LLC demand miss latency in core cycles");
+        miss_latency.record(beyond_cycles);
     }
 
     if (fsb_ != nullptr && params_.emitFsbTraffic) {

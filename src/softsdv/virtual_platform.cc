@@ -116,11 +116,15 @@ VirtualPlatform::run(Workload& workload, const WorkloadConfig& cfg)
         cpu->reset();
 
     // Input generation happens outside the emulation window.
+    if (heartbeat_ != nullptr)
+        heartbeat_->pulse();
     {
         TRACE_SPAN("platform", "workload.setUp");
         obs::ProfileScope prof("setup");
         workload.setUp(cfg, allocator_);
     }
+    if (heartbeat_ != nullptr)
+        heartbeat_->pulse();
 
     std::vector<std::unique_ptr<ThreadTask>> tasks;
     tasks.reserve(cfg.nThreads);
@@ -134,6 +138,7 @@ VirtualPlatform::run(Workload& workload, const WorkloadConfig& cfg)
     }
 
     DexScheduler scheduler(params_.dex, &fsb_, &dram_);
+    scheduler.setHeartbeat(heartbeat_);
 
     auto t0 = std::chrono::steady_clock::now();
     {
@@ -183,6 +188,8 @@ VirtualPlatform::run(Workload& workload, const WorkloadConfig& cfg)
 
     result.verified = workload.verify();
     workload.tearDown();
+    if (heartbeat_ != nullptr)
+        heartbeat_->pulse();
 
     // Feed the host-side gauge: every run contributes to the process-
     // wide simulated-MIPS measure regardless of which harness ran it.

@@ -127,12 +127,21 @@ class VirtualPlatform
      */
     void registerStats(obs::StatsRegistry& registry) const;
 
+    /**
+     * Publish liveness/progress into @p slot for subsequent run()
+     * calls: the scheduler beats per quantum, and the platform itself
+     * pulses across the setup/run boundaries so long workload setUp()
+     * phases also count as liveness. nullptr disables.
+     */
+    void setHeartbeat(obs::HeartbeatSlot* slot) { heartbeat_ = slot; }
+
   private:
     PlatformParams params_;
     FrontSideBus fsb_;
     DramModel dram_;
     SimAllocator allocator_;
     std::vector<std::unique_ptr<CpuModel>> cpus_;
+    obs::HeartbeatSlot* heartbeat_ = nullptr;
 };
 
 } // namespace cosim

@@ -221,6 +221,99 @@ TEST(CosimLintHygiene, OfstreamInCommentsAndIncludesNotFlagged)
 }
 
 // ---------------------------------------------------------------------
+// Metric-name rule (obs::metrics registrations).
+// ---------------------------------------------------------------------
+
+TEST(CosimLintMetricName, WellFormedRegistrationsPass)
+{
+    EXPECT_TRUE(
+        rulesHit("src/mem/x.cc",
+                 "static const obs::metrics::Counter c =\n"
+                 "    obs::metrics::counter(\"fsb.batch_txns\",\n"
+                 "                          \"txns per batch\");\n"
+                 "static const obs::metrics::Histogram h =\n"
+                 "    obs::metrics::histogram(\n"
+                 "        \"mem.miss_latency_cycles\", \"miss lat\");\n")
+            .empty());
+}
+
+TEST(CosimLintMetricName, MalformedNamesFlagged)
+{
+    for (const char* bad :
+         {"Bad.Name", "1starts.with.digit", "has-dash", "_lead"}) {
+        auto findings =
+            lint("src/core/x.cc",
+                 std::string("auto c = obs::metrics::counter(\"") + bad +
+                     "\", \"help\");\n");
+        ASSERT_EQ(findings.size(), 1u) << bad;
+        EXPECT_EQ(findings[0].rule, "metric-name") << bad;
+        EXPECT_NE(findings[0].message.find("[a-z][a-z0-9_.]*"),
+                  std::string::npos);
+    }
+}
+
+TEST(CosimLintMetricName, NameOnTheLineAfterTheCallIsStillChecked)
+{
+    // Registration sites wrap: the literal often lands on the line
+    // after counter(/histogram(. The finding points at the literal.
+    auto findings = lint("src/harness/x.cc",
+                         "auto h = obs::metrics::histogram(\n"
+                         "    \"Sweep.Cell_Wall_Ms\", \"wall ms\");\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "metric-name");
+    EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(CosimLintMetricName, DuplicateRegistrationInOneFileFlagged)
+{
+    auto findings =
+        lint("src/mem/x.cc",
+             "auto a = obs::metrics::counter(\"bus.reads\", \"r\");\n"
+             "auto b = obs::metrics::counter(\"bus.reads\", \"r\");\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "metric-name");
+    EXPECT_EQ(findings[0].line, 2);
+    EXPECT_NE(findings[0].message.find("more than once"),
+              std::string::npos);
+}
+
+TEST(CosimLintMetricName, ComputedNamesAndDeclarationsIgnored)
+{
+    // Non-literal first args can't be checked statically; declarations
+    // of the registration API itself have a type, not a literal.
+    EXPECT_TRUE(
+        rulesHit("src/obs/x.hh",
+                 "#ifndef COSIM_OBS_X_HH\n"
+                 "#define COSIM_OBS_X_HH\n"
+                 "Counter counter(const std::string& name,\n"
+                 "                const std::string& help);\n"
+                 "#endif // COSIM_OBS_X_HH\n")
+            .empty());
+    EXPECT_TRUE(rulesHit("src/core/x.cc",
+                         "auto c = obs::metrics::counter(name(), h);\n")
+                    .empty());
+}
+
+TEST(CosimLintMetricName, OnlySrcTreesAreChecked)
+{
+    // Tests register deliberately bad names in death tests.
+    EXPECT_TRUE(
+        rulesHit("tests/test_metrics.cc",
+                 "auto c = obs::metrics::counter(\"Bad.Name\", \"\");\n")
+            .empty());
+}
+
+TEST(CosimLintMetricName, AllowSuppresses)
+{
+    EXPECT_TRUE(
+        rulesHit("src/core/x.cc",
+                 "// cosim-lint: allow(metric-name)\n"
+                 "auto c = obs::metrics::counter(\"Legacy.Name\", "
+                 "\"h\");\n")
+            .empty());
+}
+
+// ---------------------------------------------------------------------
 // Mechanical rules.
 // ---------------------------------------------------------------------
 
@@ -366,8 +459,8 @@ TEST(CosimLintRuleSets, AllRulesListsEveryRule)
     for (const char* rule :
          {"no-rand", "no-time", "no-system-clock", "no-random-device",
           "unordered-iteration", "no-raw-new", "no-raw-delete",
-          "no-printf", "no-raw-ofstream", "header-guard",
-          "include-hygiene", "trailing-whitespace"}) {
+          "no-printf", "no-raw-ofstream", "metric-name",
+          "header-guard", "include-hygiene", "trailing-whitespace"}) {
         EXPECT_TRUE(hasRule(all, rule)) << rule;
     }
 }

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for obs/metrics.hh: log2 bucketing, the enabled gate,
+ * cross-thread merge-on-snapshot, delta snapshots, the OpenMetrics
+ * exposition, the stats::Group bridge, and the naming contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace cosim {
+namespace {
+
+namespace metrics = obs::metrics;
+
+// ------------------------------------------------------------ bucketing
+
+TEST(MetricsBuckets, Log2EdgesMatchTheContract)
+{
+    // v == 0 -> bucket 0; else bucket 1 + floor(log2(v)), so bucket i
+    // (i >= 1) spans [2^(i-1), 2^i - 1].
+    EXPECT_EQ(metrics::bucketIndex(0), 0u);
+    EXPECT_EQ(metrics::bucketIndex(1), 1u);
+    EXPECT_EQ(metrics::bucketIndex(2), 2u);
+    EXPECT_EQ(metrics::bucketIndex(3), 2u);
+    EXPECT_EQ(metrics::bucketIndex(4), 3u);
+    EXPECT_EQ(metrics::bucketIndex(7), 3u);
+    EXPECT_EQ(metrics::bucketIndex(8), 4u);
+    EXPECT_EQ(metrics::bucketIndex(1023), 10u);
+    EXPECT_EQ(metrics::bucketIndex(1024), 11u);
+    // The last bucket absorbs everything too large to index.
+    EXPECT_EQ(metrics::bucketIndex(~std::uint64_t{0}),
+              static_cast<unsigned>(metrics::kHistBuckets - 1));
+}
+
+TEST(MetricsBuckets, UpperBoundsAreInclusiveBucketEdges)
+{
+    EXPECT_EQ(metrics::bucketUpperBound(0), 0u);
+    EXPECT_EQ(metrics::bucketUpperBound(1), 1u);
+    EXPECT_EQ(metrics::bucketUpperBound(2), 3u);
+    EXPECT_EQ(metrics::bucketUpperBound(10), 1023u);
+    // Every value indexes into the bucket whose bound covers it.
+    for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 100ull, 4096ull}) {
+        unsigned b = metrics::bucketIndex(v);
+        EXPECT_LE(v, metrics::bucketUpperBound(b)) << v;
+        if (b > 0)
+            EXPECT_GT(v, metrics::bucketUpperBound(b - 1)) << v;
+    }
+}
+
+// --------------------------------------------------------- enabled gate
+
+TEST(MetricsRegistry, DisabledHandlesRecordNothing)
+{
+    metrics::Registry reg;
+    metrics::Counter c = reg.counter("gate.count", "gated counter");
+    metrics::Histogram h = reg.histogram("gate.hist", "gated histogram");
+    ASSERT_FALSE(reg.enabled());
+
+    c.add(5);
+    h.record(7);
+    metrics::Snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.counters[0].value, 0u);
+    EXPECT_EQ(snap.histograms[0].count, 0u);
+
+    reg.setEnabled(true);
+    c.add(5);
+    h.record(7);
+    snap = reg.snapshot();
+    EXPECT_EQ(snap.counters[0].value, 5u);
+    EXPECT_EQ(snap.histograms[0].count, 1u);
+    EXPECT_EQ(snap.histograms[0].sum, 7u);
+}
+
+TEST(MetricsRegistry, DefaultConstructedHandlesAreInertNoOps)
+{
+    // Record sites hold handles in function-local statics; a handle
+    // that was never registered (e.g. declared but not yet bound) must
+    // be safe to use.
+    metrics::Counter c;
+    metrics::Histogram h;
+    c.inc();
+    h.record(42);
+}
+
+// ------------------------------------------------- merge and snapshots
+
+TEST(MetricsRegistry, MergesShardsAcrossThreads)
+{
+    metrics::Registry reg;
+    reg.setEnabled(true);
+    metrics::Counter c = reg.counter("merge.count", "");
+    metrics::Histogram h = reg.histogram("merge.hist", "");
+
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kPerThread = 1000;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (unsigned i = 0; i < kPerThread; ++i) {
+                c.add(1);
+                h.record(i % 16);
+            }
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+
+    metrics::Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counters[0].value, kThreads * kPerThread);
+    EXPECT_EQ(snap.histograms[0].count, kThreads * kPerThread);
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t b : snap.histograms[0].buckets)
+        bucket_total += b;
+    EXPECT_EQ(bucket_total, snap.histograms[0].count);
+}
+
+TEST(MetricsSnapshot, DeltaSubtractsMatchedByName)
+{
+    metrics::Registry reg;
+    reg.setEnabled(true);
+    metrics::Counter c = reg.counter("d.count", "");
+    metrics::Histogram h = reg.histogram("d.hist", "");
+
+    c.add(10);
+    h.record(4);
+    metrics::Snapshot prev = reg.snapshot();
+
+    c.add(3);
+    h.record(4);
+    h.record(100);
+    metrics::Snapshot now = reg.snapshot();
+
+    metrics::Snapshot d = metrics::Snapshot::delta(now, prev);
+    ASSERT_EQ(d.counters.size(), 1u);
+    EXPECT_EQ(d.counters[0].value, 3u);
+    ASSERT_EQ(d.histograms.size(), 1u);
+    EXPECT_EQ(d.histograms[0].count, 2u);
+    EXPECT_EQ(d.histograms[0].sum, 104u);
+    EXPECT_EQ(d.histograms[0].buckets[metrics::bucketIndex(4)], 1u);
+    EXPECT_EQ(d.histograms[0].buckets[metrics::bucketIndex(100)], 1u);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrations)
+{
+    metrics::Registry reg;
+    reg.setEnabled(true);
+    metrics::Counter c = reg.counter("r.count", "");
+    c.add(7);
+    reg.resetValues();
+    EXPECT_EQ(reg.size(), 1u);
+    metrics::Snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].value, 0u);
+    // The handle keeps working after a reset.
+    c.add(2);
+    EXPECT_EQ(reg.snapshot().counters[0].value, 2u);
+}
+
+// ----------------------------------------------------------- exposition
+
+TEST(MetricsOpenMetrics, RendersCountersAndHistograms)
+{
+    metrics::Registry reg;
+    reg.setEnabled(true);
+    metrics::Counter c = reg.counter("emu.chunks", "chunks emulated");
+    metrics::Histogram h = reg.histogram("mem.lat", "miss latency");
+    c.add(3);
+    h.record(0); // bucket 0
+    h.record(1); // bucket 1
+    h.record(5); // bucket 3 (le=7)
+
+    std::string text = metrics::renderOpenMetrics(reg.snapshot());
+    // Dots map to underscores under a cosim_ prefix.
+    EXPECT_NE(text.find("# TYPE cosim_emu_chunks counter"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# HELP cosim_emu_chunks chunks emulated"),
+              std::string::npos);
+    EXPECT_NE(text.find("cosim_emu_chunks_total 3"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE cosim_mem_lat histogram"),
+              std::string::npos);
+    // Buckets are cumulative and end with the +Inf total.
+    EXPECT_NE(text.find("cosim_mem_lat_bucket{le=\"0\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("cosim_mem_lat_bucket{le=\"1\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("cosim_mem_lat_bucket{le=\"7\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("cosim_mem_lat_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("cosim_mem_lat_count 3"), std::string::npos);
+    EXPECT_NE(text.find("cosim_mem_lat_sum 6"), std::string::npos);
+    // The exposition terminates with the OpenMetrics EOF marker.
+    ASSERT_GE(text.size(), 6u);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(MetricsRegistry, StatsGroupBridgesFrozenTotals)
+{
+    metrics::Registry reg;
+    reg.setEnabled(true);
+    metrics::Counter c = reg.counter("b.count", "");
+    metrics::Histogram h = reg.histogram("b.hist", "");
+    c.add(4);
+    h.record(10);
+    h.record(20);
+
+    std::string dump = reg.statsGroup("metrics").dump();
+    EXPECT_NE(dump.find("metrics.b.count 4"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("metrics.b.hist.count 2"), std::string::npos);
+    EXPECT_NE(dump.find("metrics.b.hist.sum 30"), std::string::npos);
+    EXPECT_NE(dump.find("metrics.b.hist.mean 15"), std::string::npos);
+}
+
+// -------------------------------------------------------- naming rules
+
+TEST(MetricsNamingDeathTest, InvalidCharactersPanic)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    metrics::Registry reg;
+    EXPECT_DEATH(reg.counter("Bad.Name", ""), "invalid metric name");
+    EXPECT_DEATH(reg.counter("", ""), "invalid metric name");
+    EXPECT_DEATH(reg.counter("1starts.with.digit", ""),
+                 "invalid metric name");
+    EXPECT_DEATH(reg.histogram("has-dash", ""), "invalid metric name");
+}
+
+TEST(MetricsNamingDeathTest, DuplicateRegistrationPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    metrics::Registry reg;
+    reg.counter("dup.name", "");
+    EXPECT_DEATH(reg.counter("dup.name", ""), "registered twice");
+    EXPECT_DEATH(reg.histogram("dup.name", ""), "registered twice");
+}
+
+} // namespace
+} // namespace cosim

@@ -381,6 +381,59 @@ TEST(HostProfiler, ScopeMeasuresWallClock)
     EXPECT_GE(prof.seconds("busy"), 0.0);
 }
 
+TEST(HostProfiler, MipsSampleTimestampsStayMonotoneAcrossReset)
+{
+    obs::HostProfiler prof;
+    prof.addSimulated(1'000'000, 0.5);
+    std::vector<obs::HostProfiler::MipsSample> before =
+        prof.mipsSamples();
+    ASSERT_EQ(before.size(), 1u);
+    EXPECT_DOUBLE_EQ(before[0].mips, 2.0);
+
+    // reset() clears the ring but must not move the clock origin:
+    // samples fed afterwards still compare against pre-reset telemetry.
+    prof.reset();
+    EXPECT_TRUE(prof.mipsSamples().empty());
+    prof.addSimulated(2'000'000, 0.5);
+    std::vector<obs::HostProfiler::MipsSample> after =
+        prof.mipsSamples();
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_DOUBLE_EQ(after[0].mips, 4.0);
+    EXPECT_GE(after[0].tUs, before[0].tUs);
+}
+
+TEST(HostProfiler, MipsSampleRingKeepsTheNewestSamples)
+{
+    obs::HostProfiler prof;
+    for (std::size_t i = 0; i < obs::HostProfiler::kMaxMipsSamples + 10;
+         ++i) {
+        prof.addSimulated(i * 1'000'000, 1.0);
+    }
+    // Only the newest kMaxMipsSamples survive, in feed order.
+    std::vector<obs::HostProfiler::MipsSample> samples =
+        prof.mipsSamples();
+    ASSERT_EQ(samples.size(), obs::HostProfiler::kMaxMipsSamples);
+    EXPECT_DOUBLE_EQ(samples.back().mips,
+                     static_cast<double>(
+                         obs::HostProfiler::kMaxMipsSamples + 9));
+    for (std::size_t i = 1; i < samples.size(); ++i)
+        EXPECT_GE(samples[i].tUs, samples[i - 1].tUs);
+}
+
+TEST_F(TraceSessionTest, HostTimestampsDoNotRezeroAcrossRestart)
+{
+    obs::TraceSession& s = obs::TraceSession::global();
+    s.start();
+    double t0 = s.hostNowUs();
+    s.stop();
+    s.start();
+    // A restart used to re-capture the origin, re-zeroing host spans
+    // against everything stamped with the process-wide clock.
+    double t1 = s.hostNowUs();
+    s.stop();
+    EXPECT_GE(t1, t0);
+}
+
 // ----------------------------------------------------------- run manifest
 
 TEST(RunManifest, JsonRoundTrip)

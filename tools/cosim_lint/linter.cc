@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstddef>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -302,6 +303,80 @@ unorderedContainerNames(const std::string& code)
     return names;
 }
 
+/** One obs::metrics registration whose name is a string literal. */
+struct MetricRegistration
+{
+    int line = 0; ///< 1-based line the name literal sits on
+    std::string name;
+};
+
+/** True when @p name matches the metrics naming contract
+ * [a-z][a-z0-9_.]* (see src/obs/metrics.hh). */
+bool
+isValidMetricName(const std::string& name)
+{
+    if (name.empty() || name[0] < 'a' || name[0] > 'z')
+        return false;
+    for (char c : name) {
+        if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+              c == '_' || c == '.'))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Every counter("...")/histogram("...") registration whose first
+ * argument is a string literal (possibly on the line after the call).
+ * @p code is the comment/string-stripped text, which preserves offsets,
+ * so the literal's characters are read back from @p content.
+ * Declarations and calls with computed names have no literal after the
+ * '(' and are skipped.
+ */
+std::vector<MetricRegistration>
+metricRegistrations(const std::string& content, const std::string& code)
+{
+    std::vector<MetricRegistration> regs;
+    for (const char* fn : {"counter", "histogram"}) {
+        const std::size_t len = std::string(fn).size();
+        std::size_t pos = 0;
+        while ((pos = code.find(fn, pos)) != std::string::npos) {
+            const std::size_t start = pos;
+            pos += len;
+            if (start > 0 && isIdentChar(code[start - 1]))
+                continue;
+            std::size_t i = start + len;
+            while (i < code.size() &&
+                   std::isspace(static_cast<unsigned char>(code[i])))
+                ++i;
+            if (i >= code.size() || code[i] != '(')
+                continue;
+            ++i;
+            while (i < code.size() &&
+                   std::isspace(static_cast<unsigned char>(code[i])))
+                ++i;
+            if (i >= code.size() || code[i] != '"')
+                continue;
+            std::size_t close = content.find('"', i + 1);
+            if (close == std::string::npos)
+                continue;
+            MetricRegistration reg;
+            reg.name = content.substr(i + 1, close - i - 1);
+            reg.line = 1 + static_cast<int>(
+                               std::count(code.begin(),
+                                          code.begin() +
+                                              static_cast<std::ptrdiff_t>(
+                                                  i),
+                                          '\n'));
+            regs.push_back(std::move(reg));
+        }
+    }
+    std::sort(regs.begin(), regs.end(),
+              [](const MetricRegistration& a,
+                 const MetricRegistration& b) { return a.line < b.line; });
+    return regs;
+}
+
 /** The identifier the range expression of a range-for ends with, or ""
  * if @p line has no range-for. */
 std::string
@@ -490,8 +565,9 @@ allRules()
             "no-system-clock", "no-random-device",
             "unordered-iteration", "no-raw-new",
             "no-raw-delete",  "no-printf",
-            "no-raw-ofstream", "header-guard",
-            "include-hygiene", "trailing-whitespace"};
+            "no-raw-ofstream", "metric-name",
+            "header-guard",   "include-hygiene",
+            "trailing-whitespace"};
 }
 
 RuleSet
@@ -508,6 +584,9 @@ ruleSetFor(const std::string& rel_path)
     // Artifact writers must go through AtomicFile so an interrupted run
     // never leaves a truncated file; base/ holds AtomicFile itself.
     rs.noRawOfstream = !startsWith(rel_path, "src/base/");
+    // Metric names panic at runtime when malformed or duplicated;
+    // tests register deliberately bad names, so src/ only.
+    rs.metricName = true;
 
     // Simulation code: anything whose behaviour feeds simulated state,
     // results, or serialized output. base/ (host utilities, and the
@@ -665,6 +744,31 @@ lintContent(const std::string& rel_path, const std::string& content,
             char last = raw[i].back();
             if (last == ' ' || last == '\t')
                 report("trailing-whitespace", n, "trailing whitespace");
+        }
+    }
+
+    if (rules.metricName) {
+        std::map<std::string, int> first_seen;
+        for (const MetricRegistration& reg :
+             metricRegistrations(content, code_text)) {
+            if (!isValidMetricName(reg.name)) {
+                report("metric-name", reg.line,
+                       "metric name \"" + reg.name +
+                           "\" violates [a-z][a-z0-9_.]*; the metrics "
+                           "registry panics on malformed names "
+                           "(src/obs/metrics.hh)");
+                continue;
+            }
+            auto ins = first_seen.emplace(reg.name, reg.line);
+            if (!ins.second) {
+                report("metric-name", reg.line,
+                       "metric \"" + reg.name +
+                           "\" registered more than once in this file "
+                           "(first at line " +
+                           std::to_string(ins.first->second) +
+                           "); record sites must hold one static "
+                           "handle");
+            }
         }
     }
 

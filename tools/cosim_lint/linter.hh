@@ -27,6 +27,12 @@
  *                        AtomicFile (base/atomic_file.hh) so a failed
  *                        or interrupted run never leaves a truncated
  *                        file behind
+ *     metric-name        obs::metrics counter()/histogram() literal
+ *                        names must match [a-z][a-z0-9_.]* and appear
+ *                        once per file: the registry panics on bad or
+ *                        duplicate names at runtime, so catch them at
+ *                        review time (record sites hold one static
+ *                        handle; see src/obs/metrics.hh)
  *
  *   Mechanical (fixable with --fix):
  *     header-guard       .hh guards must be COSIM_<PATH>_HH
@@ -70,6 +76,7 @@ struct RuleSet
     bool noRawNewDelete = false;
     bool noPrintf = false;
     bool noRawOfstream = false;
+    bool metricName = false;
     bool headerGuard = true;
     bool includeHygiene = true;
     bool trailingWhitespace = true;
