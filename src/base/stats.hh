@@ -87,6 +87,13 @@ class Group
     /** Register a formula evaluated lazily at dump time. */
     void add(const std::string& stat_name, std::function<double()> formula);
 
+    /** Pre-size the stat tables (bulk snapshot/copy paths). */
+    void reserve(std::size_t n_counters, std::size_t n_formulas)
+    {
+        counters_.reserve(n_counters);
+        formulas_.reserve(n_formulas);
+    }
+
     const std::string& name() const { return name_; }
 
     /** Evaluate every registered stat into (name, value) pairs. */

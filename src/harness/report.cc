@@ -67,6 +67,10 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
                 "host threads (default 1)\n"
                 "  --emu-threads=<n> emulate Dragonheads on n worker "
                 "threads per rig (default 0 = inline)\n"
+                "  --dex-threads=<n> shard guest (DEX) execution across "
+                "n host threads per rig (default 0 =\n"
+                "                   classic scheduler; results are "
+                "bit-identical for every value)\n"
                 "  --cells=<mode>   sweep cell decomposition: combined "
                 "(default), exec (guest per config cell),\n"
                 "                   replay (guest once per workload, "
@@ -129,6 +133,9 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
             fatal_if(opts.jobs == 0, "bad --jobs value '%s'", arg.c_str());
         } else if (startsWith(arg, "--emu-threads=")) {
             opts.emuThreads = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 14, nullptr, 10));
+        } else if (startsWith(arg, "--dex-threads=")) {
+            opts.dexThreads = static_cast<unsigned>(
                 std::strtoul(arg.c_str() + 14, nullptr, 10));
         } else if (startsWith(arg, "--cells=")) {
             std::string mode = arg.substr(8);

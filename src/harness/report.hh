@@ -53,6 +53,9 @@ struct BenchOptions
     unsigned jobs = 1;
     /** Host threads per rig emulating Dragonheads (0 = inline/serial). */
     unsigned emuThreads = 0;
+    /** Host threads sharding guest (DEX) execution per rig (0 = the
+     *  classic single-thread scheduler; results identical either way). */
+    unsigned dexThreads = 0;
 
     /** @name FSB capture / replay @{ */
     /** Sweep cell decomposition. */
@@ -112,6 +115,8 @@ std::string fsbStreamPath(const std::string& base,
  *   --manifest=<f>   run manifest path (default <out>/run.json)
  *   --jobs=<n>       run up to n sweep cells on parallel host threads
  *   --emu-threads=<n> emulate Dragonheads on n worker threads per rig
+ *   --dex-threads=<n> shard guest (DEX) execution across n host threads
+ *                    per rig (0 = classic scheduler; bit-identical)
  *   --faults=<spec>  arm a fault plan (site:nth=K / site:p=X, comma-
  *                    separated; see base/fault.hh)
  *   --keep-going     finish the sweep despite failed cells

@@ -12,6 +12,7 @@
 #include "base/atomic_file.hh"
 #include "base/fault.hh"
 #include "base/flight_recorder.hh"
+#include "base/host_clock.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "base/thread_pool.hh"
@@ -436,6 +437,8 @@ runExecCell(const std::string& name, std::size_t config_index,
 
     CoSimParams params;
     params.platform = platform;
+    params.platform.dex.hostThreads = opts.dexThreads;
+    params.platform.dex.degradeSerial = opts.degradeSerial;
     params.emulators = {emu};
     params.emulationThreads = opts.emuThreads;
     params.degradeToSerial = opts.degradeSerial;
@@ -522,6 +525,8 @@ captureWorkloadStream(const std::string& name,
 
     CoSimParams params;
     params.platform = platform;
+    params.platform.dex.hostThreads = opts.dexThreads;
+    params.platform.dex.degradeSerial = opts.degradeSerial;
     CoSimulation rig(params);
     rig.setHeartbeat(beat);
 
@@ -904,6 +909,8 @@ SweepRunner::runFigure(const std::string& figure_id,
     if (opts_.cells == CellMode::Combined) {
         CoSimParams params;
         params.platform = platform;
+        params.platform.dex.hostThreads = opts_.dexThreads;
+        params.platform.dex.degradeSerial = opts_.degradeSerial;
         params.emulators = emulators;
         params.emulationThreads = opts_.emuThreads;
         params.degradeToSerial = opts_.degradeSerial;
@@ -917,18 +924,25 @@ SweepRunner::runFigure(const std::string& figure_id,
         // must not leak into the next cell); a single reused rig (the
         // original behaviour) when serial. Workload executions never
         // share simulator state either way -- the platform resets per
-        // run -- so the modes produce identical results.
+        // run -- so the modes produce identical results. Isolated rigs
+        // are built lazily *inside* their cell so parallel sweeps do
+        // not serialise n_cells rig constructions up front -- each
+        // worker thread pays for (and times) its own cell's rig.
         const bool isolate =
             jobs > 1 || opts_.keepGoing || opts_.retryCells > 0;
-        rigs.reserve(isolate ? n_cells : 1);
         if (isolate) {
-            for (std::size_t i = 0; i < n_cells; ++i)
-                rigs.push_back(std::make_unique<CoSimulation>(params));
+            rigs.resize(n_cells); // filled per cell, inside run_cell
         } else {
+            rigs.reserve(1);
             rigs.push_back(std::make_unique<CoSimulation>(params));
         }
         manifest.hostJobs = jobs;
-        manifest.emulationThreads = rigs.back()->emulationThreads();
+        manifest.emulationThreads =
+            (opts_.emuThreads == 0 || emulators.empty())
+                ? 0
+                : static_cast<unsigned>(std::min<std::size_t>(
+                      opts_.emuThreads, emulators.size()));
+        manifest.dexThreads = opts_.dexThreads;
 
         const bool replay = !opts_.replayBase.empty();
         auto run_cell = [&](std::size_t i) {
@@ -938,11 +952,32 @@ SweepRunner::runFigure(const std::string& figure_id,
                 [&, i](unsigned attempt_no, obs::HeartbeatSlot* beat) {
                     std::unique_ptr<CoSimulation>& rig =
                         rigs[isolate ? i : 0];
-                    if (attempt_no > 1 && isolate) {
-                        // The failed attempt may have poisoned the rig
-                        // (a dead emulation worker stays dead): retry
-                        // on a fresh one.
+                    if (isolate && (rig == nullptr || attempt_no > 1)) {
+                        // First attempt: lazy per-cell construction (see
+                        // above). Retry: the failed attempt may have
+                        // poisoned the rig (a dead emulation worker
+                        // stays dead), so rebuild on a fresh one.
+                        // Close any preceding silence honestly before
+                        // the build starts; the construction interval
+                        // itself is excised below.
+                        if (beat != nullptr)
+                            beat->pulse();
+                        std::uint64_t t0 = hostClockNowUs();
                         rig = std::make_unique<CoSimulation>(params);
+                        if (obs::metrics::enabled()) {
+                            static const obs::metrics::Histogram setup_ms =
+                                obs::metrics::histogram(
+                                    "sweep.cell_setup_ms",
+                                    "per-cell rig construction wall "
+                                    "milliseconds");
+                            setup_ms.record((hostClockNowUs() - t0) /
+                                            1000);
+                        }
+                        // Construction emits no heartbeats and its wall
+                        // time is already accounted for above, so it
+                        // must not read as watchdog silence.
+                        if (beat != nullptr)
+                            beat->watch().skipGap();
                     }
                     rig->setHeartbeat(beat);
                     return replay
@@ -974,6 +1009,7 @@ SweepRunner::runFigure(const std::string& figure_id,
     } else {
         manifest.hostJobs = opts_.jobs;
         manifest.emulationThreads = opts_.emuThreads;
+        manifest.dexThreads = opts_.dexThreads;
         cells = runPerConfigCells(opts_, platform, emulators, ticks,
                                   progress.get());
     }
@@ -1066,8 +1102,15 @@ SweepRunner::runFigure(const std::string& figure_id,
     // workload" view the reused serial rig exposes; per-config modes
     // rely on the frozen cell/<workload>/<config>/ snapshots instead.
     obs::StatsRegistry& registry = obs::StatsRegistry::global();
-    if (!rigs.empty())
-        rigs.back()->registerStats(registry);
+    // Lazily built cells can leave trailing null slots (e.g. a cell
+    // that failed before its rig was constructed): register the last
+    // rig that actually exists.
+    for (auto it = rigs.rbegin(); it != rigs.rend(); ++it) {
+        if (*it != nullptr) {
+            (*it)->registerStats(registry);
+            break;
+        }
+    }
     registry.add(obs::HostProfiler::global().statsGroup());
     if (obs::metrics::enabled()) {
         // Telemetry scalars (counter values, histogram count/sum/mean)

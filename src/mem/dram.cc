@@ -18,11 +18,14 @@ DramModel::DramModel(const DramParams& params)
 void
 DramModel::endRound(Cycles round_cycles)
 {
-    std::uint64_t bytes = demandBytes_ + prefetchBytes_;
-    totalDemandBytes_ += demandBytes_;
-    totalPrefetchBytes_ += prefetchBytes_;
-    demandBytes_ = 0;
-    prefetchBytes_ = 0;
+    // Runs at the round barrier: no quantum is in flight, so relaxed
+    // exchanges see every add of the round.
+    std::uint64_t demand = demandBytes_.exchange(0, std::memory_order_relaxed);
+    std::uint64_t prefetch =
+        prefetchBytes_.exchange(0, std::memory_order_relaxed);
+    std::uint64_t bytes = demand + prefetch;
+    totalDemandBytes_ += demand;
+    totalPrefetchBytes_ += prefetch;
 
     if (round_cycles == 0) {
         lastUtilization_ = 0.0;
@@ -76,7 +79,8 @@ DramModel::addStats(stats::Group& group) const
 void
 DramModel::reset()
 {
-    demandBytes_ = prefetchBytes_ = 0;
+    demandBytes_.store(0, std::memory_order_relaxed);
+    prefetchBytes_.store(0, std::memory_order_relaxed);
     totalDemandBytes_ = totalPrefetchBytes_ = 0;
     lastUtilization_ = 0.0;
     effectiveLatency_ = params_.baseLatency;

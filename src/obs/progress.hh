@@ -103,6 +103,20 @@ class CellWatch
     }
 
     /**
+     * Forget the still-open gap: move the last-beat watermark to
+     * @p now_us without recording the silence since the previous
+     * beat. Callers use this to exclude a setup phase whose wall
+     * time is accounted for elsewhere (per-cell rig construction,
+     * timed by sweep.cell_setup_ms) from the liveness measurement;
+     * gaps closed before the phase began stay recorded.
+     */
+    void
+    skipGap(std::uint64_t now_us = hostClockNowUs())
+    {
+        lastBeatUs_.store(now_us, std::memory_order_relaxed);
+    }
+
+    /**
      * Largest silence so far, including the still-open gap from the
      * last beat to @p now_us. This is what --cell-timeout compares
      * against: a cell that keeps beating keeps this small no matter

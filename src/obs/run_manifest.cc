@@ -64,6 +64,7 @@ RunManifest::toJson() const
     out += "  \"host\": {\"sim_mips\": " + json::number(hostSimMips) +
            ", \"jobs\": " + json::number(hostJobs) +
            ", \"emulation_threads\": " + json::number(emulationThreads) +
+           ", \"dex_threads\": " + json::number(dexThreads) +
            ", \"wall_seconds\": " + json::number(wallSeconds) +
            ", \"speedup\": " + json::number(hostSpeedup) +
            ", \"phases\": [";

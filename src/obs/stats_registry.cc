@@ -65,7 +65,11 @@ StatsRegistry::addSnapshotOf(const StatsRegistry& src,
     // sort keeps the destination's relative order equal to src's.
     std::vector<FrozenGroup> frozen = src.collectAll();
     for (const FrozenGroup& fg : frozen) {
+        // Build the whole frozen copy before add() takes a shard lock:
+        // parallel cells snapshotting at once then only contend for the
+        // final push, not for each formula allocation.
         stats::Group copy(prefix + fg.name);
+        copy.reserve(0, fg.stats.size());
         for (const auto& [stat_name, value] : fg.stats)
             copy.add(stat_name, [value = value] { return value; });
         add(std::move(copy));
@@ -114,6 +118,7 @@ std::vector<StatsRegistry::FrozenGroup>
 StatsRegistry::collectAll() const
 {
     std::vector<FrozenGroup> out;
+    out.reserve(size());
     for (const Shard& shard : shards_) {
         LockGuard lock(shard.mutex);
         for (const Entry& e : shard.groups) {
@@ -136,6 +141,7 @@ StatsRegistry::groupNames() const
 {
     std::vector<std::string> out;
     std::vector<std::pair<std::uint64_t, std::string>> named;
+    named.reserve(size());
     for (const Shard& shard : shards_) {
         LockGuard lock(shard.mutex);
         for (const Entry& e : shard.groups)

@@ -119,6 +119,13 @@ class FimiWorkload : public Workload
     std::uint64_t phaseGen_ = 0;
     PhaseBarrier barrier_;
 
+    /**
+     * Mining emissions staged per thread (disjoint under concurrent
+     * quanta) and folded into mined_ in tid order when the Mine phase's
+     * barrier releases. Every run -- serial or --dex-threads -- goes
+     * through the same staging, so the final order is identical too.
+     */
+    std::vector<std::vector<FrequentItemset>> minedByTid_;
     std::vector<FrequentItemset> mined_;
 };
 

@@ -110,6 +110,11 @@ class RsearchTask : public ThreadTask
         cur_ = first_;
     }
 
+    /** Concurrent-safe: the DP state is per-thread (buffers_[tid]), the
+     *  database is read-only, and each window's score slot is written
+     *  by exactly one task (windows are range-partitioned). */
+    bool parallelStepSafe() const override { return true; }
+
     bool
     step(CoreContext& ctx) override
     {
@@ -267,16 +272,26 @@ RsearchWorkload::setUp(const WorkloadConfig& cfg, SimAllocator& alloc)
         buffers_[t].seq.init(alloc, prefix + ".seq", params_.window);
     }
 
-    hits_.clear();
     windowScores_.assign(totalWindows(), -1.0);
 }
 
 void
 RsearchWorkload::recordScore(std::size_t window, double score)
 {
+    // One disjoint slot per window (windows are partitioned across
+    // tasks), so concurrent tasks never write the same element.
     windowScores_[window] = score;
-    if (score >= params_.scoreThreshold)
-        hits_.push_back(window);
+}
+
+std::vector<std::size_t>
+RsearchWorkload::hits() const
+{
+    std::vector<std::size_t> hits;
+    for (std::size_t w = 0; w < windowScores_.size(); ++w) {
+        if (windowScores_[w] >= params_.scoreThreshold)
+            hits.push_back(w);
+    }
+    return hits;
 }
 
 double

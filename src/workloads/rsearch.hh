@@ -63,8 +63,13 @@ class RsearchWorkload : public Workload
 
     const RsearchParams& params() const { return params_; }
 
-    /** Windows whose fold score crossed the threshold (post-run). */
-    const std::vector<std::size_t>& hits() const { return hits_; }
+    /**
+     * Windows whose fold score crossed the threshold (post-run).
+     * Derived from the per-window scores on demand: the scores are the
+     * only result tasks record, each into its own disjoint slot, which
+     * is what lets RsearchTask run concurrently under --dex-threads.
+     */
+    std::vector<std::size_t> hits() const;
 
     /** Total windows scanned per run (fixed at the SCMP work size). */
     std::size_t totalWindows() const;
@@ -103,7 +108,6 @@ class RsearchWorkload : public Workload
     };
     std::vector<ThreadBuffers> buffers_;
 
-    std::vector<std::size_t> hits_;
     std::vector<double> windowScores_;
 };
 

@@ -221,6 +221,45 @@ TEST(CosimLintHygiene, OfstreamInCommentsAndIncludesNotFlagged)
 }
 
 // ---------------------------------------------------------------------
+// FSB delivery discipline (src/softsdv/ only).
+// ---------------------------------------------------------------------
+
+TEST(CosimLintFsbIssue, DirectIssueFlaggedInSoftsdv)
+{
+    const std::string code = "void f() { fsb_->issue(txn); }\n";
+    EXPECT_TRUE(hasRule(rulesHit("src/softsdv/cpu_model.cc", code),
+                        "fsb-direct-issue"));
+    EXPECT_TRUE(hasRule(rulesHit("src/softsdv/x.cc",
+                                 "void g(FrontSideBus* fsb) { "
+                                 "fsb->issue(t); }\n"),
+                        "fsb-direct-issue"));
+}
+
+TEST(CosimLintFsbIssue, OtherTreesAndRecorderCallsAreFine)
+{
+    // The rule is softsdv/'s delivery discipline, not a repo-wide ban:
+    // the bus's own code, tests and the harness issue directly.
+    const std::string code = "void f() { fsb_->issue(txn); }\n";
+    EXPECT_FALSE(hasRule(rulesHit("src/mem/fsb.cc", code),
+                         "fsb-direct-issue"));
+    EXPECT_FALSE(hasRule(rulesHit("tests/x.cc", code),
+                         "fsb-direct-issue"));
+    // Recording into the slot's sink is the sanctioned path.
+    EXPECT_FALSE(hasRule(rulesHit("src/softsdv/x.cc",
+                                  "void f() { sink_->issue(txn); }\n"),
+                         "fsb-direct-issue"));
+}
+
+TEST(CosimLintFsbIssue, MergePathAllowSuppresses)
+{
+    EXPECT_FALSE(hasRule(
+        rulesHit("src/softsdv/dex_scheduler.cc",
+                 "// cosim-lint: allow(fsb-direct-issue)\n"
+                 "void merge() { fsb_->issue(txn); }\n"),
+        "fsb-direct-issue"));
+}
+
+// ---------------------------------------------------------------------
 // Metric-name rule (obs::metrics registrations).
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Determinism suite for sharded guest (DEX) execution.
+ *
+ * The contract of --dex-threads is the same as the emulation bank's:
+ * it may change *when* guest quanta run on the host, never *what* they
+ * compute or emit. Per-slot transaction recorders merged in slot order
+ * at the round barrier must reproduce the serial scheduler's FSB
+ * stream bit-exactly, so every guest counter, cache stat, FSB digest
+ * and stats-registry dump has to match across shard counts -- for all
+ * eight paper workloads, not just the friendly ones (the unsafe ones
+ * exercise the serial-fallback rounds instead). Plus the fault path: a
+ * cleanly dying DEX worker must either fail loudly, naming its shard,
+ * or -- under --degrade-serial -- finish the run bit-identically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "base/fault.hh"
+#include "base/units.hh"
+#include "obs/stats_registry.hh"
+#include "softsdv/virtual_platform.hh"
+#include "trace/fsb_capture.hh"
+#include "workloads/workload_factory.hh"
+#include "test_util.hh"
+
+namespace cosim {
+namespace {
+
+constexpr double kScale = 0.02;
+
+PlatformParams
+dexPlatform(unsigned cores, unsigned dex_threads,
+            bool degrade_serial = false)
+{
+    PlatformParams p;
+    p.name = "dex-test";
+    p.nCores = cores;
+    p.cpu.baseCpi = 1.0;
+    p.cpu.caches.l1 = {"l1", 8 * KiB, 64, 4, ReplPolicy::LRU};
+    p.cpu.caches.hasL2 = false;
+    p.cpu.useDramLatency = false;
+    p.cpu.beyondLatency = 50;
+    p.cpu.emitFsbTraffic = true;
+    // Small quanta force many rounds (and many merges) per run.
+    p.dex.quantumInsts = 5000;
+    p.dex.hostThreads = dex_threads;
+    p.dex.degradeSerial = degrade_serial;
+    return p;
+}
+
+/** Everything one guest execution produced, bit-exact. */
+struct Fingerprint
+{
+    std::vector<std::uint64_t> counters;
+    std::uint64_t fsbDigest = 0;
+    std::uint64_t fsbTxns = 0;
+    std::string statsDump;
+
+    bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint
+fingerprintOf(VirtualPlatform& vp, const RunResult& r,
+              const FsbDigestSnooper& digest)
+{
+    Fingerprint fp;
+    fp.counters = {r.totalInsts,
+                   r.memInsts,
+                   r.loads,
+                   r.stores,
+                   r.totalCycles,
+                   r.maxCoreCycles,
+                   r.l1.accesses,
+                   r.l1.misses,
+                   r.l1.writebacks,
+                   r.l1.evictions,
+                   r.schedulerRounds,
+                   r.schedulerSlices,
+                   r.footprintBytes,
+                   static_cast<std::uint64_t>(r.verified)};
+    fp.fsbDigest = digest.digest();
+    fp.fsbTxns = digest.txnCount();
+    obs::StatsRegistry local;
+    vp.registerStats(local);
+    fp.statsDump = local.dumpText();
+    return fp;
+}
+
+/** Run one factory workload under the given shard count. */
+Fingerprint
+runWorkload(const std::string& name, unsigned dex_threads,
+            RunResult* out = nullptr)
+{
+    const unsigned cores = 4;
+    VirtualPlatform vp(dexPlatform(cores, dex_threads));
+    FsbDigestSnooper digest;
+    vp.fsb().attach(&digest);
+    auto wl = createWorkload(name, kScale);
+    WorkloadConfig cfg;
+    cfg.nThreads = cores;
+    cfg.scale = kScale;
+    RunResult r = vp.run(*wl, cfg);
+    EXPECT_TRUE(r.verified) << name << " dex_threads=" << dex_threads;
+    if (out != nullptr)
+        *out = r;
+    return fingerprintOf(vp, r, digest);
+}
+
+/** Run the trivially-safe loop workload (fault / diagnostics cases). */
+Fingerprint
+runLoop(const PlatformParams& platform, RunResult* out = nullptr)
+{
+    VirtualPlatform vp(platform);
+    FsbDigestSnooper digest;
+    vp.fsb().attach(&digest);
+    test::LoopWorkload wl(16 * KiB, 4, /*shared_array=*/true);
+    WorkloadConfig cfg;
+    cfg.nThreads = platform.nCores;
+    RunResult r = vp.run(wl, cfg);
+    EXPECT_TRUE(r.verified);
+    if (out != nullptr)
+        *out = r;
+    return fingerprintOf(vp, r, digest);
+}
+
+// ------------------------------------------------- determinism sweep
+
+TEST(DexParallelWorkloads, AllEightBitIdenticalAcrossShardCounts)
+{
+    for (const std::string& name : workloadNames()) {
+        Fingerprint serial = runWorkload(name, 0);
+        ASSERT_FALSE(serial.counters.empty());
+        ASSERT_GT(serial.fsbTxns, 0u) << name;
+        for (unsigned shards : {2u, 3u, 4u}) {
+            Fingerprint sharded = runWorkload(name, shards);
+            EXPECT_EQ(sharded, serial)
+                << name << " diverged at dex_threads=" << shards;
+        }
+    }
+}
+
+TEST(DexParallelWorkloads, ShardCountAboveSlotCountClamps)
+{
+    Fingerprint serial = runWorkload("MDS", 0);
+    // 16 requested shards over 4 slots: width clamps to the slot
+    // count; results must not care.
+    EXPECT_EQ(runWorkload("MDS", 16), serial);
+}
+
+// --------------------------------------------- scheduler diagnostics
+
+TEST(DexParallelScheduler, ClassicModeReportsNoParallelRounds)
+{
+    RunResult r;
+    runLoop(dexPlatform(4, 0), &r);
+    EXPECT_EQ(r.dexParallelRounds, 0u);
+    EXPECT_EQ(r.dexSerialFallbackRounds, 0u);
+    EXPECT_EQ(r.dexFencedSlices, 0u);
+    EXPECT_EQ(r.dexDegradedWorkers, 0u);
+}
+
+TEST(DexParallelScheduler, SafeWorkloadRunsParallelRounds)
+{
+    RunResult r;
+    runLoop(dexPlatform(4, 2), &r);
+    EXPECT_GT(r.dexParallelRounds, 0u);
+    EXPECT_EQ(r.dexSerialFallbackRounds, 0u);
+    EXPECT_EQ(r.dexDegradedWorkers, 0u);
+}
+
+TEST(DexParallelScheduler, UnsafeWorkloadFallsBackToSerialRounds)
+{
+    // SVM-RFE deliberately does not implement the parallel-step-safety
+    // contract: every round must take the serial path, and the run
+    // still completes (bit-identity is covered by the sweep above).
+    RunResult r;
+    const unsigned cores = 4;
+    VirtualPlatform vp(dexPlatform(cores, 2));
+    auto wl = createWorkload("SVM-RFE", kScale);
+    WorkloadConfig cfg;
+    cfg.nThreads = cores;
+    cfg.scale = kScale;
+    r = vp.run(*wl, cfg);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.dexParallelRounds, 0u);
+    EXPECT_GT(r.dexSerialFallbackRounds, 0u);
+}
+
+TEST(DexParallelScheduler, BarrierWaitsSuspendAsFencedSlices)
+{
+    // FIMI is phase-barrier heavy: under concurrent rounds its tasks
+    // must hit the sync fence (zero instructions charged) and be
+    // resumed serially in pass 2 -- visible as fenced slices.
+    RunResult r;
+    const unsigned cores = 4;
+    VirtualPlatform vp(dexPlatform(cores, 2));
+    auto wl = createWorkload("FIMI", kScale);
+    WorkloadConfig cfg;
+    cfg.nThreads = cores;
+    cfg.scale = kScale;
+    r = vp.run(*wl, cfg);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.dexFencedSlices, 0u);
+}
+
+// ------------------------------------------------------- fault paths
+
+TEST(DexParallelFault, DeadWorkerFailsLoudlyNamingItsShard)
+{
+    ScopedFaultPlan plan("dex.worker.crash:nth=1");
+    try {
+        runLoop(dexPlatform(4, 2));
+        FAIL() << "a dead DEX worker must fail the run without "
+                  "--degrade-serial";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("DEX worker 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("shard: cores"), std::string::npos) << what;
+        EXPECT_NE(what.find("died at round"), std::string::npos) << what;
+    }
+}
+
+TEST(DexParallelFault, DegradeSerialRecoversBitIdentically)
+{
+    Fingerprint baseline = runLoop(dexPlatform(4, 0));
+    RunResult r;
+    Fingerprint degraded;
+    {
+        ScopedFaultPlan plan("dex.worker.crash:nth=1");
+        degraded =
+            runLoop(dexPlatform(4, 2, /*degrade_serial=*/true), &r);
+    }
+    EXPECT_EQ(degraded, baseline);
+    EXPECT_EQ(r.dexDegradedWorkers, 1u);
+}
+
+} // namespace
+} // namespace cosim

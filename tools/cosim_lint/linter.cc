@@ -566,8 +566,8 @@ allRules()
             "unordered-iteration", "no-raw-new",
             "no-raw-delete",  "no-printf",
             "no-raw-ofstream", "metric-name",
-            "header-guard",   "include-hygiene",
-            "trailing-whitespace"};
+            "fsb-direct-issue", "header-guard",
+            "include-hygiene", "trailing-whitespace"};
 }
 
 RuleSet
@@ -587,6 +587,11 @@ ruleSetFor(const std::string& rel_path)
     // Metric names panic at runtime when malformed or duplicated;
     // tests register deliberately bad names, so src/ only.
     rs.metricName = true;
+    // Guest-visible bus traffic from softsdv/ must flow through the
+    // slot's TxnSink recorder; only the DEX merge loop delivers onto
+    // the real FrontSideBus (and carries the one allow). A stray
+    // direct issue would silently break --dex-threads bit-identity.
+    rs.fsbDirectIssue = startsWith(rel_path, "src/softsdv/");
 
     // Simulation code: anything whose behaviour feeds simulated state,
     // results, or serialized output. base/ (host utilities, and the
@@ -714,6 +719,16 @@ lintContent(const std::string& rel_path, const std::string& content,
                     break;
                 }
             }
+        }
+
+        if (rules.fsbDirectIssue && inc.path.empty() &&
+            (line.find("fsb_->issue") != std::string::npos ||
+             line.find("fsb->issue") != std::string::npos)) {
+            report("fsb-direct-issue", n,
+                   "direct FrontSideBus issue from softsdv/; record "
+                   "into the slot's TxnSink and let the DEX merge "
+                   "path (dex_scheduler.cc) deliver it, or sharded "
+                   "execution loses bit-identity");
         }
 
         if (rules.noRawOfstream && inc.path.empty() &&

@@ -33,6 +33,12 @@
  *                        duplicate names at runtime, so catch them at
  *                        review time (record sites hold one static
  *                        handle; see src/obs/metrics.hh)
+ *     fsb-direct-issue   fsb->issue()/fsb_->issue() inside src/softsdv/
+ *                        outside the DEX merge path: guest-visible
+ *                        traffic must reach the bus through the slot's
+ *                        TxnSink recorder so --dex-threads sharding
+ *                        stays bit-identical (the merge loop in
+ *                        dex_scheduler.cc carries the one allow)
  *
  *   Mechanical (fixable with --fix):
  *     header-guard       .hh guards must be COSIM_<PATH>_HH
@@ -77,6 +83,7 @@ struct RuleSet
     bool noPrintf = false;
     bool noRawOfstream = false;
     bool metricName = false;
+    bool fsbDirectIssue = false; ///< DEX delivery discipline (softsdv/)
     bool headerGuard = true;
     bool includeHygiene = true;
     bool trailingWhitespace = true;
