@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -34,6 +35,8 @@
 #include "obs/json.hh"
 #include "obs/run_manifest.hh"
 #include "obs/stats_registry.hh"
+#include "trace/fsb_capture.hh"
+#include "trace/phase_cluster.hh"
 #include "test_workload_loop.hh"
 
 using namespace cosim;
@@ -366,6 +369,127 @@ modeJson(const ModeResult& m, unsigned emulation_threads)
     return out;
 }
 
+/** The tracked sampled-replay comparison (full vs plan-gated replay). */
+struct SampledResult
+{
+    double fullSeconds = 0.0;
+    double fullMips = 0.0;
+    double sampledSeconds = 0.0;
+    double sampledMips = 0.0;
+    double speedup = 0.0;
+    double coverage = 0.0;
+    std::uint64_t intervals = 0;
+    double mpkiFull = 0.0;
+    double mpkiEst = 0.0;
+    double mpkiErr = 0.0;
+    bool deterministic = false;
+};
+
+/** Instruction-weighted estimate over the plan's representative
+ * windows (the sweep runner's estimator, restated for the bench). */
+double
+estimateMpki(const SamplingPlan& plan, const std::vector<Sample>& samples)
+{
+    double est = 0.0;
+    double wsum = 0.0;
+    for (const PlanInterval& iv : plan.intervals) {
+        if (iv.window >= samples.size() ||
+            samples[iv.window].insts == 0) {
+            continue;
+        }
+        const double w =
+            iv.instWeight > 0.0 ? iv.instWeight : iv.weight;
+        est += w * samples[iv.window].mpki();
+        wsum += w;
+    }
+    return wsum > 0.0 && wsum < 1.0 ? est / wsum : est;
+}
+
+/**
+ * Capture the 7-emulator sweep's bus stream once, cluster a sampling
+ * plan from the first emulator's CB series, then time a full replay
+ * against a plan-gated sampled replay through identical rigs. The
+ * tracked numbers: replay MIPS both ways, the speedup, and the MPKI
+ * estimation error; the sampled pass is also run twice to check the
+ * emulator state it leaves is deterministic.
+ */
+SampledResult
+runSampledComparison()
+{
+    CoSimParams params;
+    params.platform = smallPlatform(8);
+    params.emulators = sweepEmulators(7);
+
+    // Capture pass (live guest, snooper riding the bus).
+    FsbStreamMeta meta;
+    meta.workload = "loop";
+    meta.platform = params.platform.name;
+    meta.nCores = 8;
+    std::shared_ptr<const std::vector<std::uint8_t>> stream;
+    SamplingPlan plan;
+    {
+        CoSimulation cosim(params);
+        FsbCaptureSnooper capture(meta, 4096);
+        cosim.platform().fsb().attach(&capture);
+        bench::LoopWorkload wl(1 * MiB, 3);
+        WorkloadConfig cfg;
+        cfg.nThreads = 8;
+        RunResult r = cosim.run(wl, cfg);
+        cosim.platform().fsb().detach(&capture);
+        capture.writer().setResult(r.totalInsts, r.verified);
+        stream = capture.writer().share();
+
+        PhaseClusterParams pc;
+        pc.warmupWindows = 2;
+        plan = clusterPhases(cosim.emulator(0).samples(), meta.workload,
+                             pc);
+        plan.samplePeriodUs = static_cast<double>(
+            params.emulators[0].cb.samplePeriodUs);
+        plan.coreFreqGhz = params.emulators[0].cb.coreFreqGhz;
+    }
+
+    SampledResult out;
+    out.intervals = plan.intervals.size();
+    out.coverage = plan.coverage();
+
+    // Full replay reference.
+    {
+        CoSimulation cosim(params);
+        RunResult r = cosim.replayBuffer(stream, "memory:loop");
+        out.fullSeconds = r.hostSeconds;
+        out.fullMips = r.simMips();
+        out.mpkiFull = cosim.emulator(0).results().mpki();
+    }
+
+    // Sampled replay, twice (the second pass checks determinism).
+    std::vector<std::uint64_t> first_misses;
+    for (int pass = 0; pass < 2; ++pass) {
+        CoSimulation cosim(params);
+        RunResult r =
+            cosim.replaySampledBuffer(stream, "memory:loop", plan);
+        std::vector<std::uint64_t> misses;
+        for (unsigned e = 0; e < cosim.nEmulators(); ++e)
+            misses.push_back(cosim.emulator(e).results().misses);
+        if (pass == 0) {
+            out.sampledSeconds = r.hostSeconds;
+            out.sampledMips = r.simMips();
+            out.mpkiEst =
+                estimateMpki(plan, cosim.emulator(0).samples());
+            first_misses = std::move(misses);
+        } else {
+            out.deterministic = misses == first_misses;
+        }
+    }
+
+    out.speedup = out.sampledSeconds > 0.0
+        ? out.fullSeconds / out.sampledSeconds
+        : 0.0;
+    out.mpkiErr = out.mpkiFull != 0.0
+        ? std::abs(out.mpkiEst - out.mpkiFull) / out.mpkiFull
+        : std::abs(out.mpkiEst);
+    return out;
+}
+
 /** The tracked comparison: 7-emulator sweep, serial vs parallel. */
 void
 writeMipsJson()
@@ -417,8 +541,10 @@ writeMipsJson()
     const double reg_speedup =
         reg_single > 0.0 ? reg_sharded / reg_single : 0.0;
 
+    const SampledResult sampled = runSampledComparison();
+
     std::string out = "{\n";
-    out += "  \"schema\": \"cosim-bench-mips/2\",\n";
+    out += "  \"schema\": \"cosim-bench-mips/3\",\n";
     out += "  \"git\": " + json::quote(obs::buildRevision()) + ",\n";
     out += "  \"host_cores\": " + json::number(host_cores) + ",\n";
     out += "  \"host_threads\": " + json::number(host_threads) + ",\n";
@@ -446,6 +572,22 @@ writeMipsJson()
            json::number(reg_single) + ", \"sharded_ops_per_s\": " +
            json::number(reg_sharded) + ", \"speedup\": " +
            json::number(reg_speedup) + "},\n";
+    // The sampled-replay column: sim_mips is the sampled pass's
+    // throughput so compare-mips gates it like serial/parallel.
+    out += "  \"sampled\": {\"sim_mips\": " +
+           json::number(sampled.sampledMips) + ", \"host_seconds\": " +
+           json::number(sampled.sampledSeconds) +
+           ",\n    \"full_mips\": " + json::number(sampled.fullMips) +
+           ", \"full_seconds\": " + json::number(sampled.fullSeconds) +
+           ", \"speedup\": " + json::number(sampled.speedup) +
+           ",\n    \"intervals\": " +
+           json::number(static_cast<double>(sampled.intervals)) +
+           ", \"coverage\": " + json::number(sampled.coverage) +
+           ", \"mpki_full\": " + json::number(sampled.mpkiFull) +
+           ", \"mpki_est\": " + json::number(sampled.mpkiEst) +
+           ", \"mpki_err\": " + json::number(sampled.mpkiErr) +
+           ",\n    \"deterministic\": " +
+           (sampled.deterministic ? "true" : "false") + "},\n";
     out += "  \"notes\": " +
            json::quote("stats_registration compares group add() "
                        "throughput with every hardware thread "
@@ -480,6 +622,13 @@ writeMipsJson()
     std::printf("stats registration: single-lock %.0f ops/s, sharded "
                 "%.0f ops/s (%.2fx)\n", reg_single, reg_sharded,
                 reg_speedup);
+    std::printf("sampled replay: full %.1f MIPS, sampled %.1f MIPS "
+                "(%.2fx, %llu intervals, %.1f%% coverage), mpki err "
+                "%.2f%%, deterministic=%s\n", sampled.fullMips,
+                sampled.sampledMips, sampled.speedup,
+                static_cast<unsigned long long>(sampled.intervals),
+                100.0 * sampled.coverage, 100.0 * sampled.mpkiErr,
+                sampled.deterministic ? "yes" : "NO");
     if (!identical) {
         std::fprintf(stderr, "microbench_mips: parallel emulation "
                      "diverged from serial!\n");
@@ -488,6 +637,11 @@ writeMipsJson()
     if (!dex_identical) {
         std::fprintf(stderr, "microbench_mips: sharded DEX execution "
                      "diverged from the classic scheduler!\n");
+        std::exit(1);
+    }
+    if (!sampled.deterministic) {
+        std::fprintf(stderr, "microbench_mips: sampled replay left "
+                     "different emulator state across two passes!\n");
         std::exit(1);
     }
 }

@@ -20,6 +20,18 @@
  *                                         buckets, trailing # EOF
  *   cosim_inspect postmortem <file.json>  crash flight record: schema,
  *                                         fault sites, thread events
+ *   cosim_inspect plan <file.plan.json>   sampling plan: cosim-plan/1
+ *                                         schema and structural
+ *                                         invariants (SamplingPlan)
+ *   cosim_inspect sampling <run.json> <tolerances.json> [baseline.json]
+ *                          [--min-speedup=<x>]
+ *                                         gate a sampled run's per-
+ *                                         metric relative error against
+ *                                         the tolerance file; with a
+ *                                         full-run baseline manifest,
+ *                                         print the wall-clock speedup
+ *                                         (and fail below the optional
+ *                                         --min-speedup bound)
  *
  * Exit status: 0 valid, 1 invalid or unreadable, 2 usage.
  */
@@ -33,6 +45,7 @@
 
 #include "obs/json.hh"
 #include "obs/run_manifest.hh"
+#include "trace/phase_cluster.hh"
 
 using namespace cosim;
 using obs::json::Value;
@@ -431,6 +444,220 @@ inspectPostmortem(const char* path)
     return bad == 0 ? 0 : 1;
 }
 
+/**
+ * Validate a sampling plan (trace/phase_cluster.hh): the cosim-plan/1
+ * schema plus SamplingPlan::validate()'s structural invariants (ordered
+ * unique windows in range, normalized weights, positive geometry).
+ * Prints the summary a plan consumer would see.
+ */
+int
+inspectPlan(const char* path)
+{
+    SamplingPlan plan;
+    std::string error;
+    if (!SamplingPlan::load(path, plan, &error)) {
+        std::fprintf(stderr, "cosim_inspect: %s: %s\n", path,
+                     error.c_str());
+        return 1;
+    }
+
+    std::printf("%s: %s, seed %llu\n", path, plan.workload.c_str(),
+                static_cast<unsigned long long>(plan.seed));
+    std::printf("  %zu interval(s) over %llu windows "
+                "(%.0fus @ %.1fGHz), %llu warm-up, coverage %.1f%%\n",
+                plan.intervals.size(),
+                static_cast<unsigned long long>(plan.totalWindows),
+                plan.samplePeriodUs, plan.coreFreqGhz,
+                static_cast<unsigned long long>(plan.warmupWindows),
+                100.0 * plan.coverage());
+    for (const PlanInterval& iv : plan.intervals) {
+        std::printf("  phase %llu: window %6llu, %llu window(s), "
+                    "weight %.4f, inst weight %.4f\n",
+                    static_cast<unsigned long long>(iv.phase),
+                    static_cast<unsigned long long>(iv.window),
+                    static_cast<unsigned long long>(iv.windows),
+                    iv.weight, iv.instWeight);
+    }
+    return 0;
+}
+
+/**
+ * The tolerance for (workload, metric) under a cosim-sampling-
+ * tolerances/1 document: the most specific of a per-workload override,
+ * a per-metric bound, and the document default (0.05 when absent).
+ */
+double
+toleranceFor(const Value& doc, const std::string& workload,
+             const char* metric)
+{
+    const Value* workloads = doc.find("workloads");
+    if (workloads != nullptr) {
+        const Value* w = workloads->find(workload.c_str());
+        if (w != nullptr) {
+            const Value* m = w->find(metric);
+            if (m != nullptr && m->isNumber())
+                return m->num;
+        }
+    }
+    const Value* metrics = doc.find("metrics");
+    if (metrics != nullptr) {
+        const Value* m = metrics->find(metric);
+        if (m != nullptr && m->isNumber())
+            return m->num;
+    }
+    return numberOr(doc.find("default"), 0.05);
+}
+
+/**
+ * Gate a sampled run: every workload's sampling.error metrics in
+ * @p run_path must be within the bounds of @p tol_path (the CI
+ * accuracy gate). With @p baseline_path (a full-run manifest of the
+ * same figure), also prints the wall-clock speedup. Exit 1 when any
+ * bound is exceeded, a workload lacks an error record, or the run is
+ * not a sampled run.
+ */
+int
+inspectSampling(const char* run_path, const char* tol_path,
+                const char* baseline_path, double min_speedup)
+{
+    bool ok = false;
+    const std::string run_text = readAll(run_path, &ok);
+    if (!ok)
+        return 1;
+    const std::string tol_text = readAll(tol_path, &ok);
+    if (!ok)
+        return 1;
+
+    Value run;
+    Value tol;
+    std::string error;
+    if (!obs::json::parse(run_text, run, &error)) {
+        std::fprintf(stderr, "cosim_inspect: %s: %s\n", run_path,
+                     error.c_str());
+        return 1;
+    }
+    if (!obs::json::parse(tol_text, tol, &error)) {
+        std::fprintf(stderr, "cosim_inspect: %s: %s\n", tol_path,
+                     error.c_str());
+        return 1;
+    }
+    const std::string tol_schema = stringOr(tol.find("schema"), "?");
+    if (tol_schema != "cosim-sampling-tolerances/1") {
+        std::fprintf(stderr,
+                     "%s: schema '%s' is not "
+                     "cosim-sampling-tolerances/1\n",
+                     tol_path, tol_schema.c_str());
+        return 1;
+    }
+
+    const Value* workloads = run.find("workloads");
+    if (workloads == nullptr || !workloads->isArray() ||
+        workloads->arr.empty()) {
+        std::fprintf(stderr, "%s: no workload entries\n", run_path);
+        return 1;
+    }
+
+    // The gated metrics: the estimator's per-instruction rates plus
+    // the DRAM traffic proxy (absolute LLC miss count error).
+    static const char* kMetrics[] = {"cpi", "mpki", "apki", "dram"};
+
+    int bad = 0;
+    int gated = 0;
+    std::printf("%-10s %8s %8s %8s %8s  coverage\n", "workload",
+                "cpi", "mpki", "apki", "dram");
+    for (const Value& w : workloads->arr) {
+        const std::string name = stringOr(w.find("name"), "?");
+        const Value* sampling = w.find("sampling");
+        if (sampling == nullptr) {
+            std::fprintf(stderr,
+                         "%s: workload '%s' has no sampling record "
+                         "(not a --cells=sampled run?)\n",
+                         run_path, name.c_str());
+            ++bad;
+            continue;
+        }
+        const Value* err = sampling->find("error");
+        if (err == nullptr) {
+            std::fprintf(stderr,
+                         "%s: workload '%s' has no error record "
+                         "(sampled run without a full-run "
+                         "reference)\n",
+                         run_path, name.c_str());
+            ++bad;
+            continue;
+        }
+        std::printf("%-10s", name.c_str());
+        for (const char* metric : kMetrics) {
+            const double e = numberOr(err->find(metric), 0.0);
+            const double bound = toleranceFor(tol, name, metric);
+            const bool over = e > bound;
+            std::printf(" %6.2f%%%s", 100.0 * e, over ? "!" : " ");
+            ++gated;
+            if (over) {
+                std::fprintf(stderr,
+                             "%s: %s %s error %.2f%% exceeds "
+                             "tolerance %.2f%%\n",
+                             run_path, name.c_str(), metric,
+                             100.0 * e, 100.0 * bound);
+                ++bad;
+            }
+        }
+        std::printf("  %5.1f%%\n",
+                    100.0 * numberOr(sampling->find("coverage"), 0.0));
+    }
+
+    if (baseline_path != nullptr) {
+        const std::string base_text = readAll(baseline_path, &ok);
+        if (!ok)
+            return 1;
+        Value base;
+        if (!obs::json::parse(base_text, base, &error)) {
+            std::fprintf(stderr, "cosim_inspect: %s: %s\n",
+                         baseline_path, error.c_str());
+            return 1;
+        }
+        const Value* run_host = run.find("host");
+        const Value* base_host = base.find("host");
+        const double sampled_wall =
+            run_host ? numberOr(run_host->find("wall_seconds"), 0.0)
+                     : 0.0;
+        const double full_wall =
+            base_host ? numberOr(base_host->find("wall_seconds"), 0.0)
+                      : 0.0;
+        if (sampled_wall <= 0.0 || full_wall <= 0.0) {
+            std::fprintf(stderr,
+                         "%s/%s: missing host.wall_seconds, cannot "
+                         "compute speedup\n",
+                         run_path, baseline_path);
+            ++bad;
+        } else {
+            const double speedup = full_wall / sampled_wall;
+            if (min_speedup > 0.0) {
+                std::printf("speedup: %.2fx (full %.3fs vs sampled "
+                            "%.3fs, bound %.2fx)\n",
+                            speedup, full_wall, sampled_wall,
+                            min_speedup);
+                if (speedup < min_speedup) {
+                    std::fprintf(stderr,
+                                 "%s: speedup %.2fx below bound "
+                                 "%.2fx\n",
+                                 run_path, speedup, min_speedup);
+                    ++bad;
+                }
+            } else {
+                std::printf("speedup: %.2fx (full %.3fs vs sampled "
+                            "%.3fs)\n",
+                            speedup, full_wall, sampled_wall);
+            }
+        }
+    }
+
+    if (bad == 0)
+        std::printf("sampling gate: %d metric(s) within tolerance\n",
+                    gated);
+    return bad == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -444,13 +671,49 @@ main(int argc, char** argv)
             return inspectMetrics(argv[2]);
         if (cmd == "postmortem")
             return inspectPostmortem(argv[2]);
+        if (cmd == "plan")
+            return inspectPlan(argv[2]);
+    }
+    if (argc >= 4 && argc <= 6) {
+        const std::string cmd = argv[1];
+        if (cmd == "sampling") {
+            const char* baseline = nullptr;
+            double min_speedup = 0.0;
+            bool args_ok = true;
+            for (int i = 4; i < argc; ++i) {
+                const std::string arg = argv[i];
+                const std::string flag = "--min-speedup=";
+                if (arg.compare(0, flag.size(), flag) == 0) {
+                    min_speedup =
+                        std::strtod(arg.c_str() + flag.size(), nullptr);
+                    if (min_speedup <= 0.0) {
+                        std::fprintf(stderr,
+                                     "cosim_inspect: bad %s\n",
+                                     arg.c_str());
+                        args_ok = false;
+                    }
+                } else if (baseline == nullptr) {
+                    baseline = argv[i];
+                } else {
+                    args_ok = false;
+                }
+            }
+            if (args_ok) {
+                return inspectSampling(argv[2], argv[3], baseline,
+                                       min_speedup);
+            }
+        }
     }
     if (argc != 2) {
         std::fprintf(stderr,
                      "usage: cosim_inspect <run.json>\n"
                      "       cosim_inspect progress <file.jsonl>\n"
                      "       cosim_inspect metrics <file.om>\n"
-                     "       cosim_inspect postmortem <file.json>\n");
+                     "       cosim_inspect postmortem <file.json>\n"
+                     "       cosim_inspect plan <file.plan.json>\n"
+                     "       cosim_inspect sampling <run.json> "
+                     "<tolerances.json> [baseline run.json]\n"
+                     "                     [--min-speedup=<x>]\n");
         return 2;
     }
 

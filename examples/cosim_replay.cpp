@@ -15,8 +15,10 @@
  *   check-golden <golden> <fresh>  compare digest manifests; explains
  *                                  how to regenerate on mismatch
  *   update-golden <golden> <fresh> install a fresh manifest as golden
- *   compare-mips <fresh> <base>    compare BENCH_mips.json files; exit 3
- *                                  when sim MIPS regressed > threshold
+ *   compare-mips <fresh> <base>    compare BENCH_mips.json files
+ *                                  (serial, parallel and sampled-replay
+ *                                  throughput); exit 3 when sim MIPS
+ *                                  regressed > threshold (default 15%)
  *
  * Exit codes: 0 success, 1 mismatch/corruption, 2 usage, 3 performance
  * regression (compare-mips only).
@@ -58,7 +60,8 @@ usage()
         "  update-golden <golden.digest> <fresh.digest>\n"
         "                                  install fresh digests as golden\n"
         "  compare-mips <fresh.json> <baseline.json> [--max-regress=<frac>]\n"
-        "                                  compare BENCH_mips.json results\n");
+        "                                  gate BENCH_mips.json throughput\n"
+        "                                  (default threshold 0.15)\n");
     return 2;
 }
 
@@ -302,7 +305,7 @@ int
 cmdCompareMips(const std::vector<std::string>& args)
 {
     std::string fresh_path, base_path;
-    double max_regress = 0.20;
+    double max_regress = 0.15;
     for (const std::string& arg : args) {
         if (startsWith(arg, "--max-regress=")) {
             max_regress = std::strtod(arg.c_str() + 14, nullptr);
@@ -322,7 +325,7 @@ cmdCompareMips(const std::vector<std::string>& args)
         return 1;
 
     int rc = 0;
-    for (const char* section : {"serial", "parallel"}) {
+    for (const char* section : {"serial", "parallel", "sampled"}) {
         double f = 0.0, b = 0.0;
         if (!benchMips(fresh, section, f) ||
             !benchMips(base, section, b) || b <= 0.0) {

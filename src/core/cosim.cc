@@ -155,6 +155,47 @@ CoSimulation::replayBuffer(
         details);
 }
 
+RunResult
+CoSimulation::replaySampledFile(const std::string& path,
+                                const SamplingPlan& plan,
+                                SampledReplayStats* sstats,
+                                ReplayResult* details, bool warming,
+                                unsigned warm_stride)
+{
+    prepareReplay();
+    SampledReplayDriver driver;
+    auto t0 = std::chrono::steady_clock::now();
+    ReplayResult rr = driver.replayFile(path, plan, platform_.fsb(),
+                                        sstats, warming, warm_stride);
+    // The driver never reads the host clock (interval selection must
+    // stay a pure function of the stream); the pass is timed here.
+    rr.seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    obs::HostProfiler::global().accumulate("replay.sampled", rr.seconds);
+    return finishReplay(rr, "sampled:file:" + path, details);
+}
+
+RunResult
+CoSimulation::replaySampledBuffer(
+    std::shared_ptr<const std::vector<std::uint8_t>> stream,
+    const std::string& source, const SamplingPlan& plan,
+    SampledReplayStats* sstats, ReplayResult* details, bool warming,
+    unsigned warm_stride)
+{
+    prepareReplay();
+    SampledReplayDriver driver;
+    auto t0 = std::chrono::steady_clock::now();
+    ReplayResult rr = driver.replayBuffer(std::move(stream), plan,
+                                          platform_.fsb(), sstats,
+                                          warming, warm_stride);
+    rr.seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    obs::HostProfiler::global().accumulate("replay.sampled", rr.seconds);
+    return finishReplay(rr, "sampled:" + source, details);
+}
+
 const Dragonhead&
 CoSimulation::emulator(unsigned i) const
 {

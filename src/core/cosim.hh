@@ -32,6 +32,7 @@
 #include "dragonhead/dragonhead.hh"
 #include "softsdv/virtual_platform.hh"
 #include "trace/fsb_replay.hh"
+#include "trace/sampled_replay.hh"
 
 namespace cosim {
 
@@ -102,6 +103,33 @@ class CoSimulation
     RunResult replayBuffer(
         std::shared_ptr<const std::vector<std::uint8_t>> stream,
         const std::string& source, ReplayResult* details = nullptr);
+
+    /**
+     * Sampled replay: deliver only @p plan's representative intervals
+     * (plus warm-up) through the emulators in detail, functionally
+     * warming (or, with @p warming false, fast-forwarding past) the
+     * rest (trace/sampled_replay.hh). Message transactions are always
+     * delivered, so CB totals and the sample-window clock stay exact;
+     * the caller reconstructs whole-run metrics from the emulator's
+     * per-window samples and the plan weights. Error contract matches
+     * replayFile(). @p sstats (optional) receives the delivery-gate
+     * counters. @p warm_stride dilutes warming to every Nth
+     * fast-forwarded data transaction (trace/sampled_replay.hh).
+     */
+    RunResult replaySampledFile(const std::string& path,
+                                const SamplingPlan& plan,
+                                SampledReplayStats* sstats = nullptr,
+                                ReplayResult* details = nullptr,
+                                bool warming = true,
+                                unsigned warm_stride = 1);
+
+    /** Sampled replay of an in-memory stream. */
+    RunResult replaySampledBuffer(
+        std::shared_ptr<const std::vector<std::uint8_t>> stream,
+        const std::string& source, const SamplingPlan& plan,
+        SampledReplayStats* sstats = nullptr,
+        ReplayResult* details = nullptr, bool warming = true,
+        unsigned warm_stride = 1);
 
     unsigned nEmulators() const
     {

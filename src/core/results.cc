@@ -64,6 +64,23 @@ FigureData::setStatus(const std::string& workload,
     status_[workload] = status;
 }
 
+void
+FigureData::setSamplingError(const std::string& workload,
+                             double rel_error)
+{
+    fatal_if(series_.find(workload) == series_.end(),
+             "%s: no series for workload '%s'", figureId_.c_str(),
+             workload.c_str());
+    samplingErr_[workload] = rel_error;
+}
+
+double
+FigureData::samplingError(const std::string& workload) const
+{
+    auto it = samplingErr_.find(workload);
+    return it == samplingErr_.end() ? -1.0 : it->second;
+}
+
 const std::vector<double>&
 FigureData::series(const std::string& workload) const
 {
@@ -114,11 +131,14 @@ void
 FigureData::writeCsv(const std::string& path) const
 {
     CsvWriter csv(path);
+    const bool sampled = !samplingErr_.empty();
     std::vector<std::string> header;
     header.push_back("workload");
     for (const auto& tick : xTicks_)
         header.push_back(tick);
     header.push_back("status");
+    if (sampled)
+        header.push_back("sampling_err");
     csv.writeRow(header);
     for (const auto& name : names_) {
         std::vector<std::string> row;
@@ -134,6 +154,16 @@ FigureData::writeCsv(const std::string& path) const
         for (std::size_t i = values.size(); i < xTicks_.size(); ++i)
             row.emplace_back("");
         row.push_back(status(name));
+        if (sampled) {
+            const double err = samplingError(name);
+            if (err < 0.0) {
+                row.emplace_back("");
+            } else {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "%.10g", err);
+                row.emplace_back(buf);
+            }
+        }
         csv.writeRow(row);
     }
 }

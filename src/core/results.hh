@@ -71,6 +71,17 @@ class FigureData
     /** Override the recorded outcome (e.g. "retried") of a series. */
     void setStatus(const std::string& workload, const std::string& status);
 
+    /**
+     * Record a sampled run's relative MPKI error vs its full-run
+     * reference for @p workload. Once any series carries one, the CSV
+     * gains a trailing "sampling_err" column (empty for series
+     * without).
+     */
+    void setSamplingError(const std::string& workload, double rel_error);
+
+    /** The recorded sampling error; negative when none was set. */
+    double samplingError(const std::string& workload) const;
+
     /** Paper-style printout: one row per workload, one column per tick. */
     std::string render(const std::string& value_label) const;
 
@@ -89,6 +100,7 @@ class FigureData
     std::map<std::string, std::vector<double>> series_;
     std::map<std::string, std::vector<SweepPoint>> points_;
     std::map<std::string, std::string> status_;
+    std::map<std::string, double> samplingErr_;
 };
 
 } // namespace cosim

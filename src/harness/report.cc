@@ -23,6 +23,8 @@ toString(CellMode mode)
         return "exec";
       case CellMode::Replay:
         return "replay";
+      case CellMode::Sampled:
+        return "sampled";
     }
     return "?";
 }
@@ -43,6 +45,8 @@ BenchOptions
 parseBenchArgs(int argc, char** argv, const std::string& bench_description)
 {
     BenchOptions opts;
+    bool quick = false;
+    bool sample_period_cli = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -74,7 +78,24 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
                 "  --cells=<mode>   sweep cell decomposition: combined "
                 "(default), exec (guest per config cell),\n"
                 "                   replay (guest once per workload, "
-                "replay per config cell)\n"
+                "replay per config cell), sampled\n"
+                "                   (replay only a plan's representative "
+                "intervals in detail)\n"
+                "  --plan=<base>    load sampling plans from "
+                "<base>.<workload>.plan.json (with --cells=sampled)\n"
+                "  --plan-out=<base> write generated sampling plans to "
+                "<base>.<workload>.plan.json\n"
+                "  --warmup-windows=<n> warm-up windows per "
+                "representative interval in generated plans "
+                "(default 2)\n"
+                "  --no-warming     drop fast-forwarded spans' data "
+                "instead of functionally warming the LLC\n"
+                "  --warm-stride=<n> deliver every nth fast-forwarded "
+                "data transaction when warming (default 4)\n"
+                "  --sample-period-us=<n> CB sample window in "
+                "microseconds (default: preset 500, --quick 50)\n"
+                "  --max-phases=<n> cap phases in generated sampling "
+                "plans (default 0 = auto-scale)\n"
                 "  --capture=<base> record each workload's FSB stream "
                 "to <base>.<workload>.fsb\n"
                 "  --replay=<base>  replay recorded streams instead of "
@@ -105,6 +126,7 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
                      arg.c_str());
         } else if (arg == "--quick") {
             opts.scale = 0.05;
+            quick = true;
         } else if (startsWith(arg, "--seed=")) {
             opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
             opts.seedSource = "cli";
@@ -145,9 +167,11 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
                 opts.cells = CellMode::Exec;
             } else if (mode == "replay") {
                 opts.cells = CellMode::Replay;
+            } else if (mode == "sampled") {
+                opts.cells = CellMode::Sampled;
             } else {
-                fatal("bad --cells mode '%s' (combined, exec or replay)",
-                      mode.c_str());
+                fatal("bad --cells mode '%s' (combined, exec, replay "
+                      "or sampled)", mode.c_str());
             }
         } else if (startsWith(arg, "--capture=")) {
             opts.captureBase = arg.substr(10);
@@ -156,6 +180,33 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
         } else if (startsWith(arg, "--replay=")) {
             opts.replayBase = arg.substr(9);
             fatal_if(opts.replayBase.empty(), "--replay needs a file path");
+        } else if (startsWith(arg, "--plan=")) {
+            opts.planBase = arg.substr(7);
+            fatal_if(opts.planBase.empty(), "--plan needs a file path");
+        } else if (startsWith(arg, "--plan-out=")) {
+            opts.planOutBase = arg.substr(11);
+            fatal_if(opts.planOutBase.empty(),
+                     "--plan-out needs a file path");
+        } else if (startsWith(arg, "--warmup-windows=")) {
+            opts.warmupWindows =
+                std::strtoull(arg.c_str() + 17, nullptr, 10);
+        } else if (arg == "--no-warming") {
+            opts.sampledWarming = false;
+        } else if (startsWith(arg, "--warm-stride=")) {
+            opts.warmStride = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 14, nullptr, 10));
+            fatal_if(opts.warmStride == 0,
+                     "bad --warm-stride value '%s' (1 delivers every "
+                     "fast-forwarded transaction)", arg.c_str());
+        } else if (startsWith(arg, "--sample-period-us=")) {
+            opts.samplePeriodUs =
+                std::strtoull(arg.c_str() + 19, nullptr, 10);
+            fatal_if(opts.samplePeriodUs == 0,
+                     "bad --sample-period-us value '%s'", arg.c_str());
+            sample_period_cli = true;
+        } else if (startsWith(arg, "--max-phases=")) {
+            opts.maxPhases = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 13, nullptr, 10));
         } else if (startsWith(arg, "--digest=")) {
             opts.digestFile = arg.substr(9);
             fatal_if(opts.digestFile.empty(), "--digest needs a file path");
@@ -191,12 +242,23 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
         opts.workloads = workloadNames();
     if (opts.manifestFile.empty())
         opts.manifestFile = opts.outDir + "/run.json";
+    // Quick runs are ~20x shorter; at the preset's 500 us window a run
+    // collapses into a handful of CB windows and a sampling plan ends
+    // up covering nearly all of them. A finer window restores enough
+    // geometry for phase clustering to find fast-forwardable spans.
+    if (quick && !sample_period_cli)
+        opts.samplePeriodUs = 50;
     fatal_if(!opts.captureBase.empty() && !opts.replayBase.empty(),
              "--capture and --replay are mutually exclusive (a replay "
              "re-broadcasts the stream it reads)");
     fatal_if(opts.cells == CellMode::Exec && !opts.replayBase.empty(),
              "--cells=exec executes the guest per cell; it cannot "
              "consume --replay streams");
+    fatal_if(!opts.planBase.empty() && opts.cells != CellMode::Sampled,
+             "--plan only applies to --cells=sampled");
+    fatal_if(!opts.planBase.empty() && !opts.planOutBase.empty(),
+             "--plan and --plan-out are mutually exclusive (a loaded "
+             "plan is not regenerated)");
     if (!opts.faults.empty()) {
         // Arm here so every bench binary gets fault injection without
         // per-main plumbing; the plan inherits the run seed so the
@@ -248,6 +310,12 @@ printBanner(const std::string& title, const BenchOptions& opts)
         std::printf("capture=%s.<workload>.fsb\n", opts.captureBase.c_str());
     if (!opts.replayBase.empty())
         std::printf("replay=%s.<workload>.fsb\n", opts.replayBase.c_str());
+    if (!opts.planBase.empty())
+        std::printf("plan=%s.<workload>.plan.json\n",
+                    opts.planBase.c_str());
+    if (!opts.planOutBase.empty())
+        std::printf("plan-out=%s.<workload>.plan.json\n",
+                    opts.planOutBase.c_str());
     if (!opts.faults.empty())
         std::printf("faults=%s (seed %llu)\n", opts.faults.c_str(),
                     static_cast<unsigned long long>(opts.seed));

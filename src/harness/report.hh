@@ -25,6 +25,11 @@ enum class CellMode : std::uint8_t
     /** One guest execution (or recorded stream) per workload, then one
      * replay cell per configuration. */
     Replay,
+    /** Like replay, but each configuration cell simulates only a
+     * sampling plan's representative intervals in detail and
+     * reconstructs whole-run metrics by weight extrapolation
+     * (trace/phase_cluster.hh, trace/sampled_replay.hh). */
+    Sampled,
 };
 
 const char* toString(CellMode mode);
@@ -67,6 +72,38 @@ struct BenchOptions
     std::string replayBase;
     /** Write a per-workload stream-digest manifest to this path. */
     std::string digestFile;
+    /** @} */
+
+    /** @name Sampled simulation @{ */
+    /** Load sampling plans from "<base>.<workload>.plan.json" instead
+     * of clustering them from the profiling pass (--cells=sampled). */
+    std::string planBase;
+    /** Write the per-workload sampling plans generated from this run's
+     * CB sample series to "<base>.<workload>.plan.json". */
+    std::string planOutBase;
+    /** Warm-up windows replayed (stats discarded) before each
+     * representative interval when generating plans. */
+    std::uint64_t warmupWindows = 2;
+    /** Functionally warm the fast-forwarded spans (deliver their data
+     * to the LLC without measuring it). Off trades cold-start bias in
+     * the representative windows for a lighter replay pass. */
+    bool sampledWarming = true;
+    /** Warming dilution: deliver every Nth fast-forwarded data
+     * transaction (1 = all of them). The detailed warm-up windows
+     * ahead of each representative interval repair most of the
+     * replacement-order drift, so moderate strides cut the dominant
+     * cost of a warmed pass at little accuracy cost. */
+    unsigned warmStride = 4;
+    /** Override every emulator's CB sample window, in microseconds
+     * (0 = keep the preset's 500 us). --quick defaults this to 50 so
+     * its ~20x-shorter runs still decompose into enough windows for
+     * phase clustering to find fast-forwardable spans. */
+    std::uint64_t samplePeriodUs = 0;
+    /** Upper bound on phases (representative intervals) in generated
+     * plans; 0 = auto, scaling as ~sqrt of the profiled series length
+     * (clamped to [6, 24]) so finer sample windows get proportionally
+     * more representatives and per-phase homogeneity holds. */
+    unsigned maxPhases = 0;
     /** @} */
 
     /** @name Robustness / fault injection @{ */
@@ -117,6 +154,20 @@ std::string fsbStreamPath(const std::string& base,
  *   --emu-threads=<n> emulate Dragonheads on n worker threads per rig
  *   --dex-threads=<n> shard guest (DEX) execution across n host threads
  *                    per rig (0 = classic scheduler; bit-identical)
+ *   --plan=<base>    load sampling plans from <base>.<workload>.plan.json
+ *                    (requires --cells=sampled)
+ *   --plan-out=<base> write generated sampling plans to
+ *                    <base>.<workload>.plan.json
+ *   --warmup-windows=<n> warm-up windows per representative interval
+ *                    in generated plans (default 2)
+ *   --no-warming     drop fast-forwarded spans' data instead of
+ *                    functionally warming the LLC with it
+ *   --warm-stride=<n> deliver every nth fast-forwarded data
+ *                    transaction when warming (default 4; 1 = all)
+ *   --sample-period-us=<n> CB sample window in microseconds (default:
+ *                    the preset's 500, or 50 under --quick)
+ *   --max-phases=<n> cap phases in generated sampling plans (default
+ *                    0 = auto-scale with the series length)
  *   --faults=<spec>  arm a fault plan (site:nth=K / site:p=X, comma-
  *                    separated; see base/fault.hh)
  *   --keep-going     finish the sweep despite failed cells

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <future>
@@ -26,6 +27,8 @@
 #include "obs/stats_registry.hh"
 #include "obs/trace_session.hh"
 #include "trace/fsb_capture.hh"
+#include "trace/phase_cluster.hh"
+#include "trace/sampled_replay.hh"
 #include "workloads/workload_factory.hh"
 
 namespace cosim {
@@ -60,6 +63,10 @@ struct CellOutput
     std::uint64_t replayBytes = 0;
     double replaySeconds = 0.0;
     /** @} */
+
+    /** Raw CB sample series of the first configuration; the input
+     * --plan-out clusters into a sampling plan. */
+    std::vector<Sample> cbSamples;
 };
 
 /** Stream-header provenance for a capture of @p name on @p platform. */
@@ -126,10 +133,47 @@ collectEmulator(const Dragonhead& dh, const std::string& wname,
 void
 collectSamples(const Dragonhead& dh, CellOutput& cell)
 {
-    for (const Sample& s : dh.samples()) {
+    cell.cbSamples = dh.samples();
+    for (const Sample& s : cell.cbSamples) {
         cell.mw.seriesTimeUs.push_back(s.timeUs);
         cell.mw.seriesMpki.push_back(s.mpki());
     }
+}
+
+/** Relative error of @p est against reference @p full. */
+double
+relErr(double est, double full)
+{
+    if (full == 0.0)
+        return est == 0.0 ? 0.0 : 1.0;
+    return std::abs(est - full) / std::abs(full);
+}
+
+/** Cluster @p samples into a plan whose window geometry matches the
+ * sweep's CB configuration (the replay gate recomputes windows from the
+ * plan, so the two must agree). */
+SamplingPlan
+makePlan(const std::vector<Sample>& samples, const std::string& name,
+         const ControlBlockParams& cb, const BenchOptions& opts)
+{
+    PhaseClusterParams pc;
+    pc.seed = opts.seed;
+    pc.warmupWindows = opts.warmupWindows;
+    if (opts.maxPhases != 0) {
+        pc.maxPhases = opts.maxPhases;
+    } else {
+        // Auto-scale the phase cap as ~sqrt of the series length: a
+        // fine sample period decomposes the run into many more windows,
+        // and a fixed cap would lump heterogeneous windows into one
+        // phase whose single representative misestimates the mean.
+        const double n = static_cast<double>(samples.size());
+        pc.maxPhases = static_cast<unsigned>(std::clamp(
+            std::sqrt(n) + 0.5, 6.0, 24.0));
+    }
+    SamplingPlan plan = clusterPhases(samples, name, pc);
+    plan.samplePeriodUs = static_cast<double>(cb.samplePeriodUs);
+    plan.coreFreqGhz = cb.coreFreqGhz;
+    return plan;
 }
 
 /**
@@ -492,7 +536,7 @@ runExecCell(const std::string& name, std::size_t config_index,
     return cell;
 }
 
-/** Where a replay-mode workload's stream comes from. */
+/** Where a replay- or sampled-mode workload's stream comes from. */
 struct WorkloadStream
 {
     /** In-memory capture (null = file-backed via @ref path). */
@@ -502,6 +546,19 @@ struct WorkloadStream
     std::string source;
     /** Bookkeeping of the capture execution (guest cost, digest). */
     CellOutput base;
+
+    /** Sampled mode: the plan the config cells replay under. @{ */
+    SamplingPlan plan;
+    bool hasPlan = false;
+    /** @} */
+
+    /** Sampled mode: full-run reference counters from the profiling
+     * pass, the denominator of the accuracy layer (absent when the
+     * plan came from --plan and the stream from --replay: nothing was
+     * profiled, so nothing can be compared). @{ */
+    LlcResults ref;
+    bool hasRef = false;
+    /** @} */
 };
 
 /**
@@ -559,6 +616,113 @@ captureWorkloadStream(const std::string& name,
 }
 
 /**
+ * Sampled-mode phase 1: obtain the workload's stream *and* its sampling
+ * plan. Unlike the replay-mode capture, the profiling rig runs with the
+ * sweep's first configuration attached: its full-run counters are the
+ * accuracy layer's reference, and its CB sample series is the
+ * clustering input when no --plan file is given.
+ */
+WorkloadStream
+profileSampledStream(const std::string& name,
+                     const DragonheadParams& ref_emu,
+                     const PlatformParams& platform,
+                     const BenchOptions& opts, obs::HeartbeatSlot* beat)
+{
+    TRACE_SPAN("sweep", "cell.profile");
+
+    WorkloadStream ws;
+
+    CoSimParams params;
+    params.platform = platform;
+    params.platform.dex.hostThreads = opts.dexThreads;
+    params.platform.dex.degradeSerial = opts.degradeSerial;
+    params.emulators = {ref_emu};
+    params.emulationThreads = opts.emuThreads;
+    params.degradeToSerial = opts.degradeSerial;
+    CoSimulation rig(params);
+    rig.setHeartbeat(beat);
+
+    if (!opts.replayBase.empty()) {
+        // Stream already on disk: one full-detail replay through the
+        // reference configuration recovers the sample series and the
+        // reference counters without executing the guest.
+        ws.path = fsbStreamPath(opts.replayBase, name);
+        ReplayResult details;
+        RunResult result = rig.replayFile(ws.path, &details);
+        warnStreamWorkload(details.meta, ws.path, name);
+        checkVerified(result, name, platform, opts);
+        fillWorkloadResult(ws.base, name, result);
+        noteReplay(ws.base, details);
+        ws.base.hasDigest = true;
+        ws.base.streamTxns = details.txns;
+        ws.base.streamDigest = details.digest;
+    } else {
+        // Execute the guest once, recording the stream for the config
+        // cells while the reference configuration emulates it in full.
+        auto workload = createWorkload(name, opts.scale);
+        WorkloadConfig cfg;
+        cfg.nThreads = platform.nCores;
+        cfg.scale = opts.scale;
+        cfg.seed = opts.seed;
+
+        FsbCaptureSnooper capture(captureMeta(name, platform, opts));
+        rig.platform().fsb().attach(&capture);
+        RunResult result = rig.run(*workload, cfg);
+        rig.platform().fsb().detach(&capture);
+        checkVerified(result, name, platform, opts);
+
+        FsbStreamWriter& writer = capture.writer();
+        writer.setResult(result.totalInsts, result.verified);
+        writer.finish();
+        if (!opts.captureBase.empty())
+            writer.writeFile(fsbStreamPath(opts.captureBase, name));
+        noteCapture(ws.base, writer, capture.encodeSeconds());
+        ws.buffer = writer.share();
+        ws.source = "memory:" + name;
+        ws.base.guestExecutions = 1;
+        fillWorkloadResult(ws.base, name, result);
+    }
+
+    ws.ref = rig.emulator(0).results();
+    ws.hasRef = true;
+    collectSamples(rig.emulator(0), ws.base);
+
+    if (!opts.planBase.empty()) {
+        const std::string path = planPath(opts.planBase, name);
+        std::string error;
+        if (!SamplingPlan::load(path, ws.plan, &error))
+            throw std::runtime_error("plan " + path + ": " + error);
+        if (ws.plan.samplePeriodUs !=
+                static_cast<double>(ref_emu.cb.samplePeriodUs) ||
+            ws.plan.coreFreqGhz != ref_emu.cb.coreFreqGhz) {
+            warn("plan %s: window geometry (%g us @ %g GHz) differs "
+                 "from the sweep's CB (%llu us @ %g GHz); intervals "
+                 "will not align with the profiled windows",
+                 path.c_str(), ws.plan.samplePeriodUs,
+                 ws.plan.coreFreqGhz,
+                 static_cast<unsigned long long>(
+                     ref_emu.cb.samplePeriodUs),
+                 ref_emu.cb.coreFreqGhz);
+        }
+    } else {
+        ws.plan = makePlan(ws.base.cbSamples, name, ref_emu.cb, opts);
+        if (!opts.planOutBase.empty()) {
+            // writeFile throws IoError, so a bad path fails this cell,
+            // not the whole sweep (see --keep-going).
+            const std::string path = planPath(opts.planOutBase, name);
+            ws.plan.writeFile(path);
+            inform("plan: %s (%zu intervals, %.1f%% coverage)",
+                   path.c_str(), ws.plan.intervals.size(),
+                   100.0 * ws.plan.coverage());
+        }
+    }
+    ws.hasPlan = true;
+
+    snapshotCellStats(rig, "cell/" + name + "/profile/");
+    return ws;
+}
+
+/**
  * Replay-mode phase 2: feed @p ws through a single-configuration rig --
  * one replay cell per (workload, configuration), freely parallel.
  */
@@ -605,6 +769,212 @@ replayConfigCell(const WorkloadStream& ws, const std::string& name,
     return cell;
 }
 
+/** Whole-run per-instruction metrics reconstructed from a plan and
+ * one emulator's per-window sample series. */
+struct SampledEstimate
+{
+    double mpki = 0.0;
+    double apki = 0.0;
+    double cpi = 0.0;
+};
+
+SampledEstimate
+estimateFromSamples(const SamplingPlan& plan,
+                    const std::vector<Sample>& samples)
+{
+    // Ratio-of-extrapolated-counts estimator: scale each phase's
+    // representative window *counts* by the phase's window share, then
+    // take metric ratios once at the end. Averaging per-window ratios
+    // instead would need every numerator's denominator to land in the
+    // same window -- but instruction deltas arrive in whole DEX quanta,
+    // so at fine sample periods a window's insts are lumpy while its
+    // cycle span is fixed, and a weighted mean of cycles/insts inflates
+    // CPI. Summing first cancels the lumping: neighbouring windows of a
+    // phase mis-attribute insts to each other, not out of the phase.
+    SampledEstimate est;
+    double insts = 0, cycles = 0, misses = 0, accesses = 0;
+    for (const PlanInterval& iv : plan.intervals) {
+        if (iv.window >= samples.size())
+            continue; // stream shorter than the profile; ratios still ok
+        const Sample& s = samples[iv.window];
+        insts += iv.weight * static_cast<double>(s.insts);
+        cycles += iv.weight * static_cast<double>(s.cycles);
+        misses += iv.weight * static_cast<double>(s.misses);
+        accesses += iv.weight * static_cast<double>(s.accesses);
+    }
+    if (insts <= 0.0)
+        return est;
+    est.mpki = 1000.0 * misses / insts;
+    est.apki = 1000.0 * accesses / insts;
+    est.cpi = cycles / insts;
+    return est;
+}
+
+/**
+ * Sampled-mode phase 2: one gated replay per *workload* with every
+ * sweep configuration attached. The stream is decoded once and
+ * broadcast to all emulators (the expensive part of a sampled pass is
+ * the decode, so a per-configuration decomposition would pay it
+ * nEmulators times for identical traffic); each representative
+ * window's CB sample then holds a warm-started, uncontaminated detail
+ * delta per configuration, and whole-run MPKI/APKI/CPI are
+ * reconstructed per configuration as instruction-weighted sums over
+ * those deltas, scaled back to absolute counts by the exact
+ * instruction total.
+ */
+CellOutput
+sampledWorkloadCell(CoSimulation& rig, const WorkloadStream& ws,
+                    const std::string& name,
+                    const PlatformParams& platform,
+                    const BenchOptions& opts)
+{
+    TRACE_SPAN("sweep", "cell.sampled");
+
+    ReplayResult details;
+    SampledReplayStats sstats;
+    RunResult result = ws.buffer
+        ? rig.replaySampledBuffer(ws.buffer, ws.source, ws.plan, &sstats,
+                                  &details, opts.sampledWarming,
+                                  opts.warmStride)
+        : rig.replaySampledFile(ws.path, ws.plan, &sstats, &details,
+                                opts.sampledWarming, opts.warmStride);
+    warnStreamWorkload(details.meta, ws.buffer ? ws.source : ws.path,
+                       name);
+    checkVerified(result, name, platform, opts);
+
+    CellOutput cell;
+    fillWorkloadResult(cell, name, result);
+
+    for (unsigned e = 0; e < rig.nEmulators(); ++e) {
+        const Dragonhead& dh = rig.emulator(e);
+        const LlcResults totals = dh.results();
+        const SampledEstimate est =
+            estimateFromSamples(ws.plan, dh.samples());
+
+        SweepPoint point;
+        point.workload = name;
+        point.nCores = platform.nCores;
+        point.llcSize = dh.params().llc.size;
+        point.lineSize = dh.params().llc.lineSize;
+        point.insts = totals.insts;
+        const double kinsts = static_cast<double>(totals.insts) / 1000.0;
+        point.llcMisses =
+            static_cast<std::uint64_t>(est.mpki * kinsts + 0.5);
+        point.llcAccesses =
+            static_cast<std::uint64_t>(est.apki * kinsts + 0.5);
+        cell.series.push_back(point.mpki());
+        cell.points.push_back(point);
+        cell.mw.mpkiPerConfig.push_back(point.mpki());
+
+        if (e > 0)
+            continue;
+        collectSamples(dh, cell);
+
+        obs::ManifestSampling& smp = cell.mw.sampling;
+        smp.active = true;
+        smp.intervals = ws.plan.intervals.size();
+        smp.totalWindows = ws.plan.totalWindows;
+        smp.warmupQuanta = ws.plan.warmupWindows;
+        smp.coverage = ws.plan.coverage();
+        smp.estCpi = est.cpi;
+        smp.estMpki = est.mpki;
+        smp.estApki = est.apki;
+        // Only the first configuration has a reference: the profiling
+        // pass ran with the sweep's first emulator attached.
+        if (ws.hasRef && ws.ref.insts > 0) {
+            const double finsts = static_cast<double>(ws.ref.insts);
+            smp.hasError = true;
+            smp.fullMpki = ws.ref.mpki();
+            smp.fullApki =
+                1000.0 * static_cast<double>(ws.ref.accesses) / finsts;
+            smp.fullCpi = static_cast<double>(ws.ref.cycles) / finsts;
+            smp.errMpki = relErr(est.mpki, smp.fullMpki);
+            smp.errApki = relErr(est.apki, smp.fullApki);
+            smp.errCpi = relErr(est.cpi, smp.fullCpi);
+            // DRAM traffic is misses x line size on both sides, so its
+            // relative error reduces to the absolute-miss-count error.
+            smp.errDram =
+                relErr(est.mpki * static_cast<double>(totals.insts),
+                       smp.fullMpki * finsts);
+        }
+    }
+
+    noteReplay(cell, details);
+    if (!ws.base.hasDigest) {
+        cell.hasDigest = true;
+        cell.streamTxns = details.txns;
+        cell.streamDigest = details.digest;
+    }
+
+    if (obs::metrics::enabled()) {
+        static const obs::metrics::Counter sampled_cells =
+            obs::metrics::counter("sweep.sampled_cells",
+                                  "sampled replay cells completed");
+        static const obs::metrics::Counter sampled_delivered =
+            obs::metrics::counter(
+                "sweep.sampled_txns_delivered",
+                "data transactions delivered inside detail windows");
+        static const obs::metrics::Counter sampled_warmed =
+            obs::metrics::counter(
+                "sweep.sampled_txns_warmed",
+                "data transactions delivered warm-only outside detail "
+                "windows");
+        static const obs::metrics::Counter sampled_skipped =
+            obs::metrics::counter(
+                "sweep.sampled_txns_skipped",
+                "data transactions fast-forwarded past");
+        static const obs::metrics::Counter sampled_intervals =
+            obs::metrics::counter(
+                "sweep.sampled_intervals",
+                "representative intervals reached by sampled replays");
+        sampled_cells.inc();
+        sampled_delivered.add(sstats.dataDelivered);
+        sampled_warmed.add(sstats.dataWarmed);
+        sampled_skipped.add(sstats.dataSkipped);
+        sampled_intervals.add(sstats.intervalsReached);
+    }
+
+    snapshotCellStats(rig, "cell/" + name + "/sampled/");
+    return cell;
+}
+
+/**
+ * Emit one "sampled_skip" progress event per fast-forwarded window span
+ * of @p plan (the complement of the merged warm-up + interval ranges),
+ * so a live viewer can see what the sweep did *not* simulate.
+ */
+void
+emitSkipEvents(obs::SweepProgress& progress, const std::string& name,
+               const SamplingPlan& plan)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+    for (const PlanInterval& iv : plan.intervals) {
+        const std::uint64_t lo =
+            iv.window -
+            std::min<std::uint64_t>(plan.warmupWindows, iv.window);
+        if (!ranges.empty() && lo <= ranges.back().second + 1)
+            ranges.back().second =
+                std::max(ranges.back().second, iv.window);
+        else
+            ranges.emplace_back(lo, iv.window);
+    }
+    std::uint64_t next = 0;
+    auto emit = [&](std::uint64_t from, std::uint64_t to) {
+        if (to <= from)
+            return;
+        progress.event("sampled_skip",
+                       "\"workload\":" + obs::json::quote(name) +
+                           ",\"from\":" + std::to_string(from) +
+                           ",\"to\":" + std::to_string(to - 1) +
+                           ",\"windows\":" + std::to_string(to - from));
+    };
+    for (const auto& r : ranges) {
+        emit(next, r.first);
+        next = r.second + 1;
+    }
+    emit(next, plan.totalWindows);
+}
+
 /** Fold one workload's per-configuration cells into a figure row. */
 CellOutput
 mergeWorkloadCells(const std::string& name, const CellOutput* base,
@@ -644,6 +1014,12 @@ mergeWorkloadCells(const std::string& name, const CellOutput* base,
     merged.mw.replayedFrom = configs.front().mw.replayedFrom;
     merged.mw.seriesTimeUs = configs.front().mw.seriesTimeUs;
     merged.mw.seriesMpki = configs.front().mw.seriesMpki;
+    // The first configuration's cell carries the workload's sampling
+    // record (it is the one with a reference) and its CB series.
+    merged.mw.sampling = configs.front().mw.sampling;
+    merged.cbSamples = configs.front().cbSamples;
+    if (merged.cbSamples.empty() && base != nullptr)
+        merged.cbSamples = base->cbSamples;
 
     double host = 0.0;
     if (base) {
@@ -689,10 +1065,12 @@ mergeWorkloadCells(const std::string& name, const CellOutput* base,
 }
 
 /**
- * Exec and replay decompositions: one cell per (workload,
- * configuration), scheduled across --jobs host threads. Replay mode
- * first obtains a stream per workload (phase 1), then replays it
- * through every configuration (phase 2).
+ * Exec, replay and sampled decompositions, scheduled across --jobs
+ * host threads. Exec and replay run one cell per (workload,
+ * configuration); replay mode first obtains a stream per workload
+ * (phase 1), then replays it through every configuration (phase 2).
+ * Sampled mode also stages, but its phase 2 is one gated replay per
+ * workload with all configurations attached (see sampledWorkloadCell).
  */
 std::vector<CellOutput>
 runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
@@ -703,50 +1081,86 @@ runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
     const std::size_t n_w = opts.workloads.size();
     const std::size_t n_c = emulators.size();
     const bool replay = opts.cells == CellMode::Replay;
+    const bool sampled = opts.cells == CellMode::Sampled;
+    const bool staged = replay || sampled;
+    // Phase-2 cells per workload: sampled mode broadcasts one decode
+    // to every configuration instead of replaying per configuration.
+    const std::size_t n_pc = sampled ? 1 : n_c;
+    // Replay mode needs a phase-1 cell when the stream is not on disk;
+    // sampled mode also when the plan must be clustered (or the error
+    // baseline profiled) from a full pass.
+    const bool profile_phase =
+        (replay && opts.replayBase.empty()) ||
+        (sampled &&
+         (opts.replayBase.empty() || opts.planBase.empty()));
+    const char* phase1 = sampled ? "/profile" : "/capture";
 
     // Register every row up front so the live view shows the whole
     // sweep (pending cells included) from the first tick.
     std::vector<std::size_t> cap_rows(n_w, 0);
-    std::vector<std::size_t> cfg_rows(n_w * n_c, 0);
+    std::vector<std::size_t> cfg_rows(n_w * n_pc, 0);
     if (progress != nullptr) {
-        if (replay && opts.replayBase.empty()) {
+        if (profile_phase) {
             for (std::size_t w = 0; w < n_w; ++w) {
                 cap_rows[w] =
-                    progress->addCell(opts.workloads[w] + "/capture");
+                    progress->addCell(opts.workloads[w] + phase1);
             }
         }
         for (std::size_t w = 0; w < n_w; ++w) {
-            for (std::size_t c = 0; c < n_c; ++c) {
-                cfg_rows[w * n_c + c] =
-                    progress->addCell(opts.workloads[w] + "/" + ticks[c]);
+            for (std::size_t c = 0; c < n_pc; ++c) {
+                cfg_rows[w * n_pc + c] = progress->addCell(
+                    sampled ? opts.workloads[w] + "/sampled"
+                            : opts.workloads[w] + "/" + ticks[c]);
             }
         }
     }
 
-    std::vector<WorkloadStream> streams(replay ? n_w : 0);
-    if (replay && !opts.replayBase.empty()) {
-        // File-backed replay: no guest execution, just resolve paths.
+    std::vector<WorkloadStream> streams(staged ? n_w : 0);
+    if (staged && !profile_phase) {
+        // File-backed: no guest execution, just resolve paths (and, in
+        // sampled mode, load the plan -- --plan with --replay skips the
+        // profiling pass entirely, at the price of the error baseline).
         // Unreadable or corrupt streams surface per config cell below.
-        for (std::size_t w = 0; w < n_w; ++w)
-            streams[w].path = fsbStreamPath(opts.replayBase,
-                                            opts.workloads[w]);
-    } else if (replay) {
-        // The capture execution is a cell of its own: if it fails, the
-        // workload's config cells are skipped (they would replay a
-        // stream that does not exist), not crashed into.
-        auto capture_task = [&](std::size_t w) {
+        for (std::size_t w = 0; w < n_w; ++w) {
             const std::string& name = opts.workloads[w];
-            WorkloadStream ws;
-            ws.base = runGuardedCell(
-                name + "/capture", "cell/" + name + "/capture/", opts,
-                progress, cap_rows[w],
-                [&](unsigned, obs::HeartbeatSlot* beat) {
-                    ws = captureWorkloadStream(name, platform, opts,
-                                               beat);
-                    return ws.base;
-                });
-            return ws;
-        };
+            streams[w].path = fsbStreamPath(opts.replayBase, name);
+            if (!sampled)
+                continue;
+            const std::string path = planPath(opts.planBase, name);
+            std::string error;
+            if (SamplingPlan::load(path, streams[w].plan, &error)) {
+                streams[w].hasPlan = true;
+            } else {
+                // Fail the workload's config cells, not the sweep.
+                streams[w].base.failed = true;
+                streams[w].base.mw.name = name + phase1;
+                streams[w].base.mw.status = "failed";
+                streams[w].base.mw.error =
+                    "plan " + path + ": " + error;
+            }
+        }
+    }
+    // The capture/profile execution is a cell of its own: if it fails,
+    // the workload's config cells are skipped (they would replay a
+    // stream that does not exist), not crashed into.
+    auto capture_task = [&](std::size_t w) {
+        const std::string& name = opts.workloads[w];
+        WorkloadStream ws;
+        ws.base = runGuardedCell(
+            name + phase1, "cell/" + name + phase1 + "/", opts,
+            progress, cap_rows[w],
+            [&](unsigned, obs::HeartbeatSlot* beat) {
+                ws = sampled
+                    ? profileSampledStream(name, emulators.front(),
+                                           platform, opts, beat)
+                    : captureWorkloadStream(name, platform, opts, beat);
+                return ws.base;
+            });
+        return ws;
+    };
+    if (staged && profile_phase && !sampled) {
+        // Replay mode: every configuration cell consumes the stream,
+        // so the capture phase is a barrier ahead of all of them.
         const unsigned jobs = static_cast<unsigned>(
             std::min<std::size_t>(opts.jobs, std::max<std::size_t>(n_w,
                                                                    1)));
@@ -767,30 +1181,88 @@ runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
         }
     }
 
-    const std::size_t n_flat = n_w * n_c;
+    const std::size_t n_flat = n_w * n_pc;
     const unsigned jobs = static_cast<unsigned>(
         std::min<std::size_t>(opts.jobs, std::max<std::size_t>(n_flat,
                                                                1)));
+
+    // Sampled phase-2 rigs. The broadcast rig (every configuration
+    // attached) is the most expensive rig in the harness to build, so
+    // a serial sweep with no isolation requirement builds one and
+    // reuses it across workloads -- replays reset the emulators at
+    // entry, so results are identical either way. Parallel sweeps and
+    // --keep-going / --retry-cells isolate per cell, exactly as
+    // combined mode does (a poisoned rig must not leak into the next
+    // cell).
+    CoSimParams sampled_params;
+    std::vector<std::unique_ptr<CoSimulation>> sampled_rigs;
+    bool sampled_isolate = true;
+    if (sampled) {
+        sampled_params.platform = platform;
+        sampled_params.emulators = emulators;
+        sampled_params.emulationThreads = opts.emuThreads;
+        sampled_params.degradeToSerial = opts.degradeSerial;
+        // Broadcast delivery to every configuration is the cell's hot
+        // loop; batch the bus so each emulator takes whole chunks
+        // (Dragonhead::observeBatch) instead of a virtual call per
+        // transaction per snooper.
+        sampled_params.fsbBatchTxns = 4096;
+        sampled_isolate =
+            jobs > 1 || opts.keepGoing || opts.retryCells > 0;
+        sampled_rigs.resize(sampled_isolate ? n_w : 1);
+    }
+
     auto run_one = [&](std::size_t w, std::size_t c) {
         const std::string& name = opts.workloads[w];
-        const std::string label = name + "/" + ticks[c];
-        if (replay && streams[w].base.failed) {
+        const std::string label =
+            sampled ? name + "/sampled" : name + "/" + ticks[c];
+        if (sampled && profile_phase) {
+            // A workload's stream feeds only its own broadcast cell, so
+            // the profile runs fused in the same task -- a barrier
+            // between the phases would serialize the sweep on its
+            // slowest profile for no consumer.
+            streams[w] = capture_task(w);
+        }
+        if (staged && streams[w].base.failed) {
             CellOutput cell;
             cell.failed = true;
             cell.mw.name = label;
             cell.mw.status = "failed";
-            cell.mw.attempts = streams[w].base.mw.attempts;
-            cell.mw.error = "capture failed: " + streams[w].base.mw.error;
+            cell.mw.attempts =
+                std::max<std::uint64_t>(streams[w].base.mw.attempts, 1);
+            cell.mw.error = (sampled ? "profile failed: "
+                                     : "capture failed: ") +
+                            streams[w].base.mw.error;
             if (progress != nullptr) {
-                progress->cellFinished(cfg_rows[w * n_c + c], false, 0.0,
+                progress->cellFinished(cfg_rows[w * n_pc + c], false, 0.0,
                                        cell.mw.error);
             }
             return cell;
         }
         return runGuardedCell(
-            label, "cell/" + name + "/" + ticks[c] + "/", opts, progress,
-            cfg_rows[w * n_c + c],
-            [&, w, c](unsigned, obs::HeartbeatSlot* beat) {
+            label, "cell/" + label + "/", opts, progress,
+            cfg_rows[w * n_pc + c],
+            [&, w, c](unsigned attempt_no, obs::HeartbeatSlot* beat) {
+                if (sampled) {
+                    std::unique_ptr<CoSimulation>& rig =
+                        sampled_rigs[sampled_isolate ? w : 0];
+                    if (rig == nullptr ||
+                        (sampled_isolate && attempt_no > 1)) {
+                        // Lazy build (and rebuild on retry, since the
+                        // failed attempt may have poisoned the rig);
+                        // the construction interval must not read as
+                        // watchdog silence.
+                        if (beat != nullptr)
+                            beat->pulse();
+                        rig = std::make_unique<CoSimulation>(
+                            sampled_params);
+                        if (beat != nullptr)
+                            beat->watch().skipGap();
+                    }
+                    rig->setHeartbeat(beat);
+                    return sampledWorkloadCell(*rig, streams[w], name,
+                                               platform, opts);
+                }
                 return replay
                     ? replayConfigCell(streams[w], name, c, emulators[c],
                                        ticks[c], platform, opts, beat)
@@ -805,7 +1277,7 @@ runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
         std::vector<std::future<CellOutput>> futures;
         futures.reserve(n_flat);
         for (std::size_t w = 0; w < n_w; ++w) {
-            for (std::size_t c = 0; c < n_c; ++c) {
+            for (std::size_t c = 0; c < n_pc; ++c) {
                 futures.push_back(
                     pool.submit([&run_one, w, c] { return run_one(w, c); }));
             }
@@ -814,12 +1286,23 @@ runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
             flat[i] = futures[i].get();
     } else {
         for (std::size_t w = 0; w < n_w; ++w) {
-            for (std::size_t c = 0; c < n_c; ++c) {
-                debug("sweep cell %s/%s (%zu/%zu)",
-                      opts.workloads[w].c_str(), ticks[c].c_str(),
-                      w * n_c + c + 1, n_flat);
-                flat[w * n_c + c] = run_one(w, c);
+            for (std::size_t c = 0; c < n_pc; ++c) {
+                debug("sweep cell %s (%zu/%zu)",
+                      opts.workloads[w].c_str(), w * n_pc + c + 1,
+                      n_flat);
+                flat[w * n_pc + c] = run_one(w, c);
             }
+        }
+    }
+
+    // Narrate what the sampled sweep fast-forwarded past, one event
+    // per skipped window span (emitted here, after the cells, so the
+    // stream's ordering is deterministic).
+    if (sampled && progress != nullptr) {
+        for (std::size_t w = 0; w < n_w; ++w) {
+            if (streams[w].hasPlan && !streams[w].base.failed)
+                emitSkipEvents(*progress, opts.workloads[w],
+                               streams[w].plan);
         }
     }
 
@@ -827,10 +1310,10 @@ runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
     cells.reserve(n_w);
     for (std::size_t w = 0; w < n_w; ++w) {
         std::vector<CellOutput> configs(
-            std::make_move_iterator(flat.begin() + w * n_c),
-            std::make_move_iterator(flat.begin() + (w + 1) * n_c));
+            std::make_move_iterator(flat.begin() + w * n_pc),
+            std::make_move_iterator(flat.begin() + (w + 1) * n_pc));
         const CellOutput* base =
-            replay && opts.replayBase.empty() ? &streams[w].base : nullptr;
+            profile_phase ? &streams[w].base : nullptr;
         cells.push_back(mergeWorkloadCells(opts.workloads[w], base,
                                            configs));
     }
@@ -842,9 +1325,18 @@ runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
 FigureData
 SweepRunner::runFigure(const std::string& figure_id,
                        const PlatformParams& platform,
-                       const std::vector<DragonheadParams>& emulators,
+                       const std::vector<DragonheadParams>& emulators_in,
                        const std::vector<std::string>& ticks)
 {
+    // --sample-period-us: retime every configuration's CB window. The
+    // override applies to profiling and sampled replay alike, so plan
+    // windows keep aligning with the CB sample series they index.
+    std::vector<DragonheadParams> emulators = emulators_in;
+    if (opts_.samplePeriodUs != 0) {
+        for (DragonheadParams& emu : emulators)
+            emu.cb.samplePeriodUs = opts_.samplePeriodUs;
+    }
+
     FigureData figure(figure_id, "cache configuration", ticks);
 
     obs::TraceSession& trace = obs::TraceSession::global();
@@ -872,9 +1364,19 @@ SweepRunner::runFigure(const std::string& figure_id,
         }
     }
     std::size_t total_cells = n_cells;
-    if (opts_.cells != CellMode::Combined) {
+    if (opts_.cells == CellMode::Exec ||
+        opts_.cells == CellMode::Replay) {
         total_cells = n_cells * emulators.size();
-        if (opts_.cells == CellMode::Replay && opts_.replayBase.empty())
+    }
+    if (opts_.cells != CellMode::Combined) {
+        // Mirrors runPerConfigCells' phase-1 registration (sampled
+        // phase 2 is one broadcast cell per workload, already counted).
+        const bool profile_phase =
+            (opts_.cells == CellMode::Replay &&
+             opts_.replayBase.empty()) ||
+            (opts_.cells == CellMode::Sampled &&
+             (opts_.replayBase.empty() || opts_.planBase.empty()));
+        if (profile_phase)
             total_cells += n_cells;
     }
     if (progress != nullptr) {
@@ -1075,6 +1577,9 @@ SweepRunner::runFigure(const std::string& figure_id,
         figure.addSeries(cell.mw.name, cell.series,
                          std::move(cell.points));
         figure.setStatus(cell.mw.name, cell.mw.status);
+        if (cell.mw.sampling.active && cell.mw.sampling.hasError)
+            figure.setSamplingError(cell.mw.name,
+                                    cell.mw.sampling.errMpki);
         std::printf("  %-9s %8.1fM inst  %6.2fs host  %5.1f MIPS  "
                     "verified=%s%s  [%zu/%zu]\n", cell.mw.name.c_str(),
                     static_cast<double>(cell.mw.totalInsts) / 1e6,
@@ -1082,6 +1587,20 @@ SweepRunner::runFigure(const std::string& figure_id,
                     cell.mw.verified ? "yes" : "NO",
                     cell.mw.replayedFrom.empty() ? "" : "  replayed",
                     i + 1, n_cells);
+        if (cell.mw.sampling.active) {
+            const obs::ManifestSampling& s = cell.mw.sampling;
+            if (s.hasError) {
+                std::printf("            sampled: %llu intervals, "
+                            "%.1f%% coverage, mpki err %.2f%%\n",
+                            static_cast<unsigned long long>(s.intervals),
+                            100.0 * s.coverage, 100.0 * s.errMpki);
+            } else {
+                std::printf("            sampled: %llu intervals, "
+                            "%.1f%% coverage (no reference)\n",
+                            static_cast<unsigned long long>(s.intervals),
+                            100.0 * s.coverage);
+            }
+        }
     }
     manifest.hostSpeedup = manifest.wallSeconds > 0.0
         ? host_sum / manifest.wallSeconds
@@ -1094,6 +1613,35 @@ SweepRunner::runFigure(const std::string& figure_id,
         fatal("sweep %s: cell failed: %s (use --keep-going to finish "
               "the healthy cells)", figure_id.c_str(),
               first_error.c_str());
+    }
+
+    // --plan-out from a full-detail run: cluster every workload's CB
+    // series into a sampling plan for later --cells=sampled sweeps.
+    // (Sampled mode writes its plans during the profiling phase
+    // instead, where generation is cell-isolated.)
+    if (!opts_.planOutBase.empty() &&
+        opts_.cells != CellMode::Sampled && !emulators.empty()) {
+        for (const CellOutput& cell : cells) {
+            if (cell.failed)
+                continue;
+            if (cell.cbSamples.empty()) {
+                warn("plan-out: %s recorded no CB samples; skipped",
+                     cell.mw.name.c_str());
+                continue;
+            }
+            SamplingPlan plan = makePlan(cell.cbSamples, cell.mw.name,
+                                         emulators.front().cb, opts_);
+            const std::string path =
+                planPath(opts_.planOutBase, cell.mw.name);
+            try {
+                plan.writeFile(path);
+            } catch (const IoError& e) {
+                fatal("plan-out: %s", e.what());
+            }
+            inform("plan: %s (%zu intervals, %.1f%% coverage)",
+                   path.c_str(), plan.intervals.size(),
+                   100.0 * plan.coverage());
+        }
     }
 
     // Publish the rig's component stats and the host profile through the

@@ -113,7 +113,33 @@ RunManifest::toJson() const
                numberArray(w.mpkiPerConfig) +
                ",\n     \"mpki_series\": {\"time_us\": " +
                numberArray(w.seriesTimeUs) + ", \"mpki\": " +
-               numberArray(w.seriesMpki) + "}}";
+               numberArray(w.seriesMpki) + "}";
+        if (w.sampling.active) {
+            const ManifestSampling& s = w.sampling;
+            out += ",\n     \"sampling\": {\"intervals\": " +
+                   json::number(static_cast<double>(s.intervals)) +
+                   ", \"total_windows\": " +
+                   json::number(static_cast<double>(s.totalWindows)) +
+                   ", \"warmup_quanta\": " +
+                   json::number(static_cast<double>(s.warmupQuanta)) +
+                   ", \"coverage\": " + json::number(s.coverage);
+            if (s.hasError) {
+                out += ",\n      \"error\": {\"cpi\": " +
+                       json::number(s.errCpi) +
+                       ", \"mpki\": " + json::number(s.errMpki) +
+                       ", \"apki\": " + json::number(s.errApki) +
+                       ", \"dram\": " + json::number(s.errDram) + "}";
+            }
+            out += ",\n      \"est\": {\"cpi\": " +
+                   json::number(s.estCpi) +
+                   ", \"mpki\": " + json::number(s.estMpki) +
+                   ", \"apki\": " + json::number(s.estApki) +
+                   "},\n      \"full\": {\"cpi\": " +
+                   json::number(s.fullCpi) +
+                   ", \"mpki\": " + json::number(s.fullMpki) +
+                   ", \"apki\": " + json::number(s.fullApki) + "}}";
+        }
+        out += "}";
     }
     out += workloads.empty() ? "]\n" : "\n  ]\n";
     out += "}\n";

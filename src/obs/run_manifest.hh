@@ -26,6 +26,43 @@ inline constexpr const char* kManifestSchema = "cosim-run-manifest/1";
 /** The source revision this binary was built from ("unknown" outside git). */
 std::string buildRevision();
 
+/**
+ * Sampled-simulation record for one workload (--cells=sampled): what
+ * the plan covered and how far the weight-extrapolated estimates landed
+ * from the full-run reference (relative error per gated metric).
+ */
+struct ManifestSampling
+{
+    bool active = false;
+
+    /** Representative intervals simulated in detail. */
+    std::uint64_t intervals = 0;
+    /** CB windows in the profiled series. */
+    std::uint64_t totalWindows = 0;
+    /** Warm-up windows (discarded stats) before each interval. */
+    std::uint64_t warmupQuanta = 0;
+    /** Fraction of windows simulated in detail (intervals + warm-up). */
+    double coverage = 0.0;
+
+    /** A full-run reference existed, so the errors below are real
+     * measurements (false for a pure --replay + --plan run, which has
+     * no reference to compare against). */
+    bool hasError = false;
+
+    /** Relative error of the estimates vs the full-run reference. @{ */
+    double errCpi = 0.0;
+    double errMpki = 0.0;
+    double errApki = 0.0;
+    double errDram = 0.0;
+    /** @} */
+
+    /** Estimate / reference pairs behind the errors. @{ */
+    double estCpi = 0.0, fullCpi = 0.0;
+    double estMpki = 0.0, fullMpki = 0.0;
+    double estApki = 0.0, fullApki = 0.0;
+    /** @} */
+};
+
 /** One workload execution within a run. */
 struct ManifestWorkload
 {
@@ -54,6 +91,9 @@ struct ManifestWorkload
     /** CB 500 us sample series of the first emulated configuration. */
     std::vector<double> seriesTimeUs;
     std::vector<double> seriesMpki;
+
+    /** Sampled-simulation record (active only under --cells=sampled). */
+    ManifestSampling sampling;
 };
 
 /** One phase of the host-profiler snapshot embedded in the manifest. */

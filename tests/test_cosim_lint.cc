@@ -260,6 +260,76 @@ TEST(CosimLintFsbIssue, MergePathAllowSuppresses)
 }
 
 // ---------------------------------------------------------------------
+// Sampled-simulation rules (plan writers, interval selection).
+// ---------------------------------------------------------------------
+
+TEST(CosimLintSampledPlan, RawIoFlaggedInPlanWriters)
+{
+    // A file that names the plan schema is a plan writer; its file I/O
+    // must go through AtomicFile.
+    EXPECT_TRUE(hasRule(
+        rulesHit("src/trace/x.cc",
+                 "const char* kSchema = \"cosim-plan/1\";\n"
+                 "void save() { std::ofstream out(path_); }\n"),
+        "plan-atomic-write"));
+    EXPECT_TRUE(hasRule(
+        rulesHit("src/harness/x.cc",
+                 "const char* kSchema = \"cosim-plan/1\";\n"
+                 "void save() { std::FILE* f = std::fopen(p, \"w\"); }\n"),
+        "plan-atomic-write"));
+}
+
+TEST(CosimLintSampledPlan, FilesOutsideThePlanBusinessAreFine)
+{
+    // ofstream without the schema mention is no-raw-ofstream's
+    // business, not this rule's.
+    EXPECT_FALSE(hasRule(
+        rulesHit("src/trace/x.cc",
+                 "void save() { std::ofstream out(path_); }\n"),
+        "plan-atomic-write"));
+    // Non-src trees (tests write fixture plans however they like).
+    EXPECT_FALSE(hasRule(
+        rulesHit("tests/x.cc",
+                 "const char* kSchema = \"cosim-plan/1\";\n"
+                 "void save() { std::ofstream out(path_); }\n"),
+        "plan-atomic-write"));
+}
+
+TEST(CosimLintIntervalWallclock, HostClockFlaggedInSelectionCode)
+{
+    // steady_clock passes the determinism group but still breaks plan
+    // reproducibility inside interval-selection code.
+    EXPECT_TRUE(hasRule(
+        rulesHit("src/trace/x.cc",
+                 "void pick(SamplingPlan& plan) {\n"
+                 "    auto t0 = std::chrono::steady_clock::now();\n"
+                 "}\n"),
+        "interval-wallclock"));
+    EXPECT_TRUE(hasRule(
+        rulesHit("src/trace/x.cc",
+                 "void f(const PlanInterval& iv) { time(nullptr); }\n"),
+        "interval-wallclock"));
+}
+
+TEST(CosimLintIntervalWallclock, TimingOutsideSelectionCodeIsFine)
+{
+    // trace/ files with no interval selection time their own passes
+    // (fsb_replay.cc, fsb_capture.cc).
+    EXPECT_FALSE(hasRule(
+        rulesHit("src/trace/x.cc",
+                 "auto t0 = std::chrono::steady_clock::now();\n"),
+        "interval-wallclock"));
+    // core/cosim.cc times the sampled pass around the selection code;
+    // the rule is scoped to src/trace/.
+    EXPECT_FALSE(hasRule(
+        rulesHit("src/core/x.cc",
+                 "void f(const SamplingPlan& p) {\n"
+                 "    auto t0 = std::chrono::steady_clock::now();\n"
+                 "}\n"),
+        "interval-wallclock"));
+}
+
+// ---------------------------------------------------------------------
 // Metric-name rule (obs::metrics registrations).
 // ---------------------------------------------------------------------
 
@@ -499,6 +569,7 @@ TEST(CosimLintRuleSets, AllRulesListsEveryRule)
          {"no-rand", "no-time", "no-system-clock", "no-random-device",
           "unordered-iteration", "no-raw-new", "no-raw-delete",
           "no-printf", "no-raw-ofstream", "metric-name",
+          "plan-atomic-write", "interval-wallclock",
           "header-guard", "include-hygiene", "trailing-whitespace"}) {
         EXPECT_TRUE(hasRule(all, rule)) << rule;
     }

@@ -566,7 +566,8 @@ allRules()
             "unordered-iteration", "no-raw-new",
             "no-raw-delete",  "no-printf",
             "no-raw-ofstream", "metric-name",
-            "fsb-direct-issue", "header-guard",
+            "fsb-direct-issue", "plan-atomic-write",
+            "interval-wallclock", "header-guard",
             "include-hygiene", "trailing-whitespace"};
 }
 
@@ -592,6 +593,12 @@ ruleSetFor(const std::string& rel_path)
     // the real FrontSideBus (and carries the one allow). A stray
     // direct issue would silently break --dex-threads bit-identity.
     rs.fsbDirectIssue = startsWith(rel_path, "src/softsdv/");
+    // Sampling-plan writers anywhere in src/ must write atomically
+    // (the rule itself only fires in files mentioning the schema).
+    rs.planAtomicWrite = true;
+    // Interval selection must be a pure function of the sample series:
+    // no host clock of any kind, steady or otherwise.
+    rs.intervalWallclock = startsWith(rel_path, "src/trace/");
 
     // Simulation code: anything whose behaviour feeds simulated state,
     // results, or serialized output. base/ (host utilities, and the
@@ -647,6 +654,18 @@ lintContent(const std::string& rel_path, const std::string& content,
     const std::set<std::string> unordered_names =
         rules.determinism ? unorderedContainerNames(code_text)
                           : std::set<std::string>{};
+
+    // The sampled-simulation rules fire only in files that are in the
+    // business: plan writers name the "cosim-plan/" schema (in string
+    // literals, so the raw content is searched), interval selectors
+    // name the plan types in code.
+    const bool writes_plans =
+        rules.planAtomicWrite &&
+        content.find("cosim-plan/") != std::string::npos;
+    const bool selects_intervals =
+        rules.intervalWallclock &&
+        (containsWord(code_text, "SamplingPlan") ||
+         containsWord(code_text, "PlanInterval"));
 
     for (std::size_t i = 0; i < code.size(); ++i) {
         const std::string& line = code[i];
@@ -729,6 +748,30 @@ lintContent(const std::string& rel_path, const std::string& content,
                    "into the slot's TxnSink and let the DEX merge "
                    "path (dex_scheduler.cc) deliver it, or sharded "
                    "execution loses bit-identity");
+        }
+
+        if (writes_plans && inc.path.empty() &&
+            (containsWord(line, "ofstream") ||
+             containsCall(line, "fopen"))) {
+            report("plan-atomic-write", n,
+                   "raw file I/O in a sampling-plan writer; plans must "
+                   "go through AtomicFile / writeFileAtomic "
+                   "(base/atomic_file.hh) so a failed run never leaves "
+                   "a torn cosim-plan file for --plan to consume");
+        }
+
+        if (selects_intervals && inc.path.empty()) {
+            const bool clock_type =
+                containsWord(line, "steady_clock") ||
+                containsWord(line, "system_clock");
+            if (clock_type || containsCall(line, "time") ||
+                containsCall(line, "clock_gettime")) {
+                report("interval-wallclock", n,
+                       "host clock in interval-selection code; plan "
+                       "generation must be a pure function of the "
+                       "sample series and the seed (time sampled "
+                       "passes in core/cosim.cc instead)");
+            }
         }
 
         if (rules.noRawOfstream && inc.path.empty() &&

@@ -39,6 +39,19 @@
  *                        TxnSink recorder so --dex-threads sharding
  *                        stays bit-identical (the merge loop in
  *                        dex_scheduler.cc carries the one allow)
+ *     plan-atomic-write  std::ofstream/fopen in a src/ file that
+ *                        mentions the "cosim-plan/" schema: sampling
+ *                        plan writers must go through AtomicFile so a
+ *                        failed run never leaves a torn plan for a
+ *                        later --plan sweep to consume
+ *     interval-wallclock steady_clock/system_clock/time()/
+ *                        clock_gettime() in a src/trace/ file that
+ *                        mentions SamplingPlan/PlanInterval: interval
+ *                        selection must be a pure function of the
+ *                        sample series and the seed, or the same
+ *                        profiling run stops reproducing the same plan
+ *                        (host timing for sampled passes lives in
+ *                        core/cosim.cc, outside the selection code)
  *
  *   Mechanical (fixable with --fix):
  *     header-guard       .hh guards must be COSIM_<PATH>_HH
@@ -84,6 +97,8 @@ struct RuleSet
     bool noRawOfstream = false;
     bool metricName = false;
     bool fsbDirectIssue = false; ///< DEX delivery discipline (softsdv/)
+    bool planAtomicWrite = false; ///< plan writers use AtomicFile (src/)
+    bool intervalWallclock = false; ///< pure interval selection (trace/)
     bool headerGuard = true;
     bool includeHygiene = true;
     bool trailingWhitespace = true;
