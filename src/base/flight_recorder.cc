@@ -45,7 +45,7 @@ Registry&
 registry()
 {
     // Leaked: threads may record during static destruction.
-    static Registry* reg = new Registry; // cosim-lint: allow(no-raw-new)
+    static Registry* reg = new Registry; // cosim-analyze: allow(no-raw-new)
     return *reg;
 }
 

@@ -2,7 +2,7 @@
 
 // This file IS the logging backend every other component is pointed
 // at, so the stream writes live here by design.
-// cosim-lint: allow-file(no-printf)
+// cosim-analyze: allow-file(no-printf)
 
 #include <atomic>
 #include <cstdio>

@@ -6,7 +6,7 @@
  * that every experiment is bit-for-bit reproducible across runs and hosts.
  *
  * cosim::Rng is the only sanctioned randomness source in simulation
- * code: cosim_lint's no-rand / no-random-device rules reject libc and
+ * code: cosim_analyze's no-rand / no-random-device rules reject libc and
  * <random> entropy there precisely so every random draw can be traced
  * back to a recorded seed. seed() exposes the construction seed so run
  * manifests can record the provenance of each experiment.

@@ -12,7 +12,7 @@
  *    name, assign a dense id, and return a copyable handle. Names are
  *    dotted lower-case paths ("mem.miss_latency_cycles"), matching the
  *    StatsRegistry scheme; charset [a-z0-9_.], enforced here at
- *    runtime and by the cosim_lint "metric-name" rule at review time.
+ *    runtime and by the cosim_analyze "metric-name" rule at review time.
  *    Registering a name twice panics -- call sites hold their handle
  *    in a function-local static so registration runs once per process.
  *

@@ -48,7 +48,7 @@ DexScheduler::runClassic(std::vector<CoreSlot>& slots)
     auto emit = [&](msg::Type type, std::uint64_t payload) {
         if (messages)
             // The classic scheduler IS the delivery path (no
-            // recorders). cosim-lint: allow(fsb-direct-issue)
+            // recorders). cosim-analyze: allow(fsb-direct-issue)
             fsb_->issue(msg::encode(type, payload));
     };
 
@@ -269,7 +269,7 @@ DexScheduler::runSharded(std::vector<CoreSlot>& slots, unsigned n_workers)
 
     if (messages)
         // Scheduling-thread control message, before any round.
-        // cosim-lint: allow(fsb-direct-issue)
+        // cosim-analyze: allow(fsb-direct-issue)
         fsb_->issue(msg::encode(msg::Type::StartEmulation, 0));
 
     std::uint64_t total_insts_base = 0;
@@ -528,7 +528,7 @@ DexScheduler::runSharded(std::vector<CoreSlot>& slots, unsigned n_workers)
                      states[i].recorder.txns()) {
                     // The one sanctioned delivery point: everything
                     // upstream went through a TxnSink recorder.
-                    // cosim-lint: allow(fsb-direct-issue)
+                    // cosim-analyze: allow(fsb-direct-issue)
                     fsb_->issue(txn);
                 }
             }
@@ -617,7 +617,7 @@ DexScheduler::runSharded(std::vector<CoreSlot>& slots, unsigned n_workers)
 
     if (messages)
         // Scheduling-thread control message, after the last round.
-        // cosim-lint: allow(fsb-direct-issue)
+        // cosim-analyze: allow(fsb-direct-issue)
         fsb_->issue(msg::encode(msg::Type::StopEmulation, 0));
 }
 

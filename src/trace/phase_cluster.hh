@@ -23,7 +23,7 @@
  * (trace/sampled_replay.hh) and `cosim_inspect plan` validates.
  *
  * Everything here is a pure function of the sample series and the seed:
- * no wall-clock, no host entropy (cosim_lint's interval-wallclock rule
+ * no wall-clock, no host entropy (cosim_analyze's interval-wallclock rule
  * keeps it that way), so the same profiling run always yields the same
  * plan, byte for byte.
  */

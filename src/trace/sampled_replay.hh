@@ -14,7 +14,7 @@
  * stream (the same clock the CB runs on), so interval boundaries align
  * exactly with the CB sample windows the plan was clustered from, and
  * the whole pass is a function of the stream and the plan alone -- no
- * wall-clock anywhere (cosim_lint's interval-wallclock rule).
+ * wall-clock anywhere (cosim_analyze's interval-wallclock rule).
  *
  * Data outside the delivery windows is *functionally warmed* by
  * default: still fed through the bus so the emulated LLC's tag and

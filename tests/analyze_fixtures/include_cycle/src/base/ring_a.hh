@@ -1,0 +1,21 @@
+/**
+ * Seeded violation (with ring_b.hh): a two-header include cycle
+ * inside one module. Same-module edges pass the layering gate, so
+ * only include-cycle catches this.
+ */
+
+#ifndef COSIM_BASE_RING_A_HH
+#define COSIM_BASE_RING_A_HH
+
+#include "base/ring_b.hh"
+
+namespace cosim {
+
+struct RingA
+{
+    int a = 0;
+};
+
+} // namespace cosim
+
+#endif // COSIM_BASE_RING_A_HH

@@ -1,0 +1,15 @@
+#ifndef COSIM_BASE_RING_B_HH
+#define COSIM_BASE_RING_B_HH
+
+#include "base/ring_a.hh"
+
+namespace cosim {
+
+struct RingB
+{
+    int b = 0;
+};
+
+} // namespace cosim
+
+#endif // COSIM_BASE_RING_B_HH

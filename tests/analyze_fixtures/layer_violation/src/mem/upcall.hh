@@ -1,0 +1,22 @@
+/**
+ * Seeded violation: mem (rank 1) must not include core (rank 8).
+ * cosim_analyze --check-all --root=<this fixture> must fail with
+ * layer-violation.
+ */
+
+#ifndef COSIM_MEM_UPCALL_HH
+#define COSIM_MEM_UPCALL_HH
+
+#include "core/cosim.hh"
+
+namespace cosim {
+
+inline int
+memPeeksAtCore()
+{
+    return 1;
+}
+
+} // namespace cosim
+
+#endif // COSIM_MEM_UPCALL_HH

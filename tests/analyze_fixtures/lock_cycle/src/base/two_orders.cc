@@ -1,0 +1,39 @@
+/**
+ * Seeded violation: two functions acquire the same pair of mutexes in
+ * opposite orders -- the global acquisition graph has the cycle
+ * Left::leftMutex_ -> Right::rightMutex_ -> Left::leftMutex_.
+ */
+
+#include "base/mutex.hh"
+
+namespace cosim {
+
+struct Left
+{
+    Mutex leftMutex_;
+    int value = 0;
+};
+
+struct Right
+{
+    Mutex rightMutex_;
+    int value = 0;
+};
+
+int
+leftThenRight(Left& l, Right& r)
+{
+    LockGuard a(l.leftMutex_);
+    LockGuard b(r.rightMutex_);
+    return l.value + r.value;
+}
+
+int
+rightThenLeft(Left& l, Right& r)
+{
+    LockGuard a(r.rightMutex_);
+    LockGuard b(l.leftMutex_);
+    return l.value - r.value;
+}
+
+} // namespace cosim

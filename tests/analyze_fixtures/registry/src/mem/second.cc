@@ -1,0 +1,13 @@
+#include "obs/metrics.hh"
+
+namespace cosim {
+
+int
+secondUser()
+{
+    static auto& c = metrics::counter("dup.metric", "seeded duplicate");
+    c.inc();
+    return 0;
+}
+
+} // namespace cosim

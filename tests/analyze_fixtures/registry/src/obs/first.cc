@@ -1,0 +1,25 @@
+/**
+ * Seeded violations (with mem/second.cc and the manifests next door):
+ *   - "dup.metric" is registered here AND in mem/second.cc
+ *     (duplicate-metric);
+ *   - "not.in.registry" is a fault site missing from
+ *     fault_sites.txt (unregistered-fault-site);
+ *   - the manifests list "ghost.metric", which no code registers
+ *     (stale-registry-entry).
+ */
+
+#include "base/fault.hh"
+#include "obs/metrics.hh"
+
+namespace cosim {
+
+int
+firstUser()
+{
+    static auto& c = metrics::counter("dup.metric", "seeded duplicate");
+    COSIM_FAULT_POINT("not.in.registry");
+    c.inc();
+    return 0;
+}
+
+} // namespace cosim

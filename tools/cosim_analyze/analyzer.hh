@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The cosim_analyze driver: per-file fact extraction (stage one, with
+ * the content-hash incremental cache), the project passes (stage
+ * two), the justification-carrying allowlist, and the fingerprint
+ * baseline.
+ *
+ * Stage one is a pure function of one file's bytes, so its result is
+ * cached keyed on (content hash, cache format version): a warm run
+ * over an unchanged tree lexes nothing. Stage two always re-runs --
+ * the cross-TU passes are cheap once the facts exist, and caching
+ * them would make the cache key the whole tree.
+ */
+
+#ifndef COSIM_TOOLS_COSIM_ANALYZE_ANALYZER_HH
+#define COSIM_TOOLS_COSIM_ANALYZE_ANALYZER_HH
+
+#include <string>
+#include <vector>
+
+#include "tools/cosim_analyze/facts.hh"
+#include "tools/cosim_analyze/sarif.hh"
+
+namespace cosim_analyze {
+
+/** Stage one for one file: lex once, run the per-file rules, extract
+ * the facts the project passes need. Pure. */
+FileFacts extractFileFacts(const std::string& rel_path,
+                           const std::string& content);
+
+/** Serialize stage-one facts for the incremental cache. */
+std::string serializeFileFacts(const FileFacts& ff,
+                               const std::string& content_hash);
+
+/** Parse one cached entry; returns false on any mismatch (treat as a
+ * cache miss -- the format carries a version stamp). */
+bool deserializeFileFacts(const std::string& blob,
+                          const std::string& expect_hash,
+                          FileFacts* out);
+
+/** FNV-1a content hash as 16 hex digits. */
+std::string contentHash(const std::string& content);
+
+/** Parse tools/cosim_analyze/analysis.allow. Lines look like
+ *   layering core -> trace: replay drivers feed the core loop
+ *   lock-order A::m_ -> B::m_: B is only reached from A's shard
+ * Malformed or justification-less lines produce allowlist-hygiene
+ * findings (appended to @p findings). */
+std::vector<AllowEntry> parseAllowFile(const std::string& rel_path,
+                                       const std::string& content,
+                                       std::vector<Finding>* findings);
+
+struct AnalyzeOptions
+{
+    std::string root = ".";
+    bool fix = false;              ///< apply mechanical fixes first
+    std::string cachePath;         ///< "" disables the cache
+    std::string baselinePath;      ///< "" disables the baseline
+    std::string sarifPath;         ///< "" disables SARIF output
+    bool writeRegistries = false;  ///< regenerate tools/registries/
+    bool writeBaseline = false;    ///< rewrite the baseline file
+};
+
+struct AnalyzeResult
+{
+    std::vector<FingerprintedFinding> findings;  ///< to report
+    std::vector<FingerprintedFinding> baselined; ///< known, filtered
+    int filesScanned = 0;
+    int cacheHits = 0;
+    bool ioError = false;
+    std::vector<std::string> errors;
+};
+
+/** Run the whole analysis over the tree at opts.root. */
+AnalyzeResult analyzeTree(const AnalyzeOptions& opts);
+
+} // namespace cosim_analyze
+
+#endif // COSIM_TOOLS_COSIM_ANALYZE_ANALYZER_HH

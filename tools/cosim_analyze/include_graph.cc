@@ -1,0 +1,217 @@
+#include "tools/cosim_analyze/include_graph.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cosim_analyze {
+
+namespace {
+
+struct ModuleRank
+{
+    const char* module;
+    int rank;
+};
+
+// The declared layering DAG. Strictly ordered: an edge is legal only
+// when the including module ranks strictly above the included one.
+// "obs" is deliberately absent -- it is the observability side channel,
+// importable from everywhere but importing only base.
+const ModuleRank kRanks[] = {
+    {"base", 0},      {"mem", 1},   {"cache", 2}, {"prefetch", 3},
+    {"dragonhead", 4}, {"softsdv", 5}, {"trace", 6}, {"workloads", 7},
+    {"core", 8},      {"harness", 9},
+};
+
+bool
+startsWith(const std::string& s, const std::string& prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/** Module of an include path, which is written repo-root-relative
+ * without the src/ prefix ("mem/dram.hh" -> "mem"). */
+std::string
+includeModule(const std::string& inc_path)
+{
+    std::size_t slash = inc_path.find('/');
+    if (slash == std::string::npos)
+        return "";
+    std::string mod = inc_path.substr(0, slash);
+    if (mod == "obs")
+        return mod;
+    for (const ModuleRank& mr : kRanks) {
+        if (mod == mr.module)
+            return mod;
+    }
+    return "";
+}
+
+/** Resolve an include path to the repo-relative path of an analyzed
+ * file, or "" when the include is external (<vector>, system). */
+std::string
+resolveInclude(const std::string& inc_path,
+               const std::set<std::string>& known)
+{
+    if (known.count(inc_path))
+        return inc_path; // tools/..., tests/... are included as-is
+    const std::string with_src = "src/" + inc_path;
+    if (known.count(with_src))
+        return with_src;
+    return "";
+}
+
+/** DFS state for include-cycle detection. */
+struct CycleFinder
+{
+    const std::map<std::string,
+                   std::vector<std::pair<std::string, int>>>& graph;
+    std::map<std::string, int> color; // 0 white, 1 on stack, 2 done
+    std::vector<std::string> stack;
+    std::set<std::vector<std::string>> seen_cycles;
+    std::vector<Finding>* findings;
+
+    void
+    visit(const std::string& node)
+    {
+        color[node] = 1;
+        stack.push_back(node);
+        auto it = graph.find(node);
+        if (it != graph.end()) {
+            for (const auto& [next, line] : it->second) {
+                int c = color[next];
+                if (c == 1)
+                    report(next, node, line);
+                else if (c == 0)
+                    visit(next);
+            }
+        }
+        stack.pop_back();
+        color[node] = 2;
+    }
+
+    void
+    report(const std::string& back_to, const std::string& from,
+           int line)
+    {
+        // Cycle is the stack suffix starting at back_to.
+        auto at = std::find(stack.begin(), stack.end(), back_to);
+        std::vector<std::string> cycle(at, stack.end());
+        std::vector<std::string> key = cycle;
+        std::sort(key.begin(), key.end());
+        if (!seen_cycles.insert(key).second)
+            return; // same cycle reached from another entry point
+        std::string chain;
+        for (const std::string& f : cycle)
+            chain += f + " -> ";
+        chain += back_to;
+        findings->push_back(Finding{
+            from, line, "include-cycle",
+            "cyclic #include chain: " + chain});
+    }
+};
+
+} // namespace
+
+std::string
+moduleOf(const std::string& rel_path)
+{
+    if (!startsWith(rel_path, "src/"))
+        return "";
+    std::size_t slash = rel_path.find('/', 4);
+    if (slash == std::string::npos)
+        return "";
+    return rel_path.substr(4, slash - 4);
+}
+
+int
+moduleRank(const std::string& module)
+{
+    for (const ModuleRank& mr : kRanks) {
+        if (module == mr.module)
+            return mr.rank;
+    }
+    return -1;
+}
+
+std::vector<Finding>
+checkIncludeGraph(const std::vector<FileFacts>& files,
+                  const std::vector<AllowEntry>& allows,
+                  std::vector<bool>* used_allows)
+{
+    std::vector<Finding> findings;
+
+    auto allowed = [&](const std::string& from,
+                       const std::string& to) {
+        bool hit = false;
+        for (std::size_t i = 0; i < allows.size(); ++i) {
+            if (allows[i].pass == "layering" &&
+                allows[i].from == from && allows[i].to == to) {
+                (*used_allows)[i] = true;
+                hit = true; // keep scanning: mark every matching entry
+            }
+        }
+        return hit;
+    };
+
+    // --- Layering gate over src/ module edges. ---
+    for (const FileFacts& ff : files) {
+        const std::string from = moduleOf(ff.path);
+        if (from.empty())
+            continue;
+        const int from_rank = moduleRank(from);
+        for (const IncludeFact& inc : ff.includes) {
+            const std::string to = includeModule(inc.path);
+            if (to.empty() || to == from)
+                continue;
+            bool ok;
+            if (from == "obs") {
+                ok = to == "base"; // obs imports only base
+            } else if (to == "obs") {
+                ok = true; // obs is importable from everywhere
+            } else {
+                ok = from_rank > moduleRank(to);
+            }
+            if (ok || allowed(from, to))
+                continue;
+            if (ff.suppressions.allows("layer-violation", inc.line))
+                continue;
+            findings.push_back(Finding{
+                ff.path, inc.line, "layer-violation",
+                "module '" + from + "' may not include '" + inc.path +
+                    "' (module '" + to +
+                    "'): the layering order is base < mem < cache < "
+                    "prefetch < dragonhead < softsdv < trace < "
+                    "workloads < core < harness, obs importable by "
+                    "all; add a justified entry to "
+                    "tools/cosim_analyze/analysis.allow if this edge "
+                    "is intended"});
+        }
+    }
+
+    // --- File-level include cycles, across every analyzed file. ---
+    std::set<std::string> known;
+    for (const FileFacts& ff : files)
+        known.insert(ff.path);
+    std::map<std::string, std::vector<std::pair<std::string, int>>>
+        graph;
+    for (const FileFacts& ff : files) {
+        auto& out = graph[ff.path];
+        for (const IncludeFact& inc : ff.includes) {
+            const std::string to = resolveInclude(inc.path, known);
+            if (!to.empty() && to != ff.path)
+                out.push_back({to, inc.line});
+        }
+    }
+    CycleFinder cf{graph, {}, {}, {}, &findings};
+    for (const FileFacts& ff : files) {
+        if (cf.color[ff.path] == 0)
+            cf.visit(ff.path);
+    }
+
+    return findings;
+}
+
+} // namespace cosim_analyze

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Include-graph layering gate (project pass).
+ *
+ * The repo's module dependency structure is a declared DAG:
+ *
+ *   base(0) < mem(1) < cache(2) < prefetch(3) < dragonhead(4)
+ *           < softsdv(5) < trace(6) < workloads(7) < core(8)
+ *           < harness(9)
+ *
+ * with `obs` as the side channel: importable from every module, but
+ * itself importing only `base`. A module may include headers of any
+ * strictly lower-ranked module (and its own). Every other edge is a
+ * `layer-violation` unless `tools/cosim_analyze/analysis.allow` carries
+ * a justified `layering from -> to` entry for it.
+ *
+ * Independently of ranks, the pass builds the file-level include graph
+ * across every analyzed file (src/, tools/, tests/, ...) and reports
+ * any cyclic #include chain as `include-cycle` -- ranks catch bad
+ * architecture, the cycle check catches headers that cannot compile
+ * standalone.
+ */
+
+#ifndef COSIM_TOOLS_COSIM_ANALYZE_INCLUDE_GRAPH_HH
+#define COSIM_TOOLS_COSIM_ANALYZE_INCLUDE_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "tools/cosim_analyze/facts.hh"
+
+namespace cosim_analyze {
+
+/** Module name ("mem", "obs") of a src/ path; "" when the file is not
+ * under src/ and therefore outside the layering gate. */
+std::string moduleOf(const std::string& rel_path);
+
+/** Rank in the layering order; -1 for unknown modules and "obs"
+ * (which is special-cased, not ranked). */
+int moduleRank(const std::string& module);
+
+/**
+ * Run the layering gate and the include-cycle check over all files.
+ * @p allows holds the parsed analysis.allow entries; entries consumed
+ * by this pass get their index marked in @p used_allows (same size as
+ * @p allows) so the caller can flag stale ones.
+ */
+std::vector<Finding> checkIncludeGraph(
+    const std::vector<FileFacts>& files,
+    const std::vector<AllowEntry>& allows,
+    std::vector<bool>* used_allows);
+
+} // namespace cosim_analyze
+
+#endif // COSIM_TOOLS_COSIM_ANALYZE_INCLUDE_GRAPH_HH

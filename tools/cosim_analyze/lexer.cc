@@ -1,0 +1,355 @@
+#include "tools/cosim_analyze/lexer.hh"
+
+#include <cctype>
+
+namespace cosim_analyze {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isDigit(char c)
+{
+    return c >= '0' && c <= '9';
+}
+
+/** Lexer cursor over the raw content, tracking the current line. */
+struct Cursor
+{
+    const std::string& s;
+    std::size_t i = 0;
+    int line = 1;
+
+    bool done() const { return i >= s.size(); }
+    char cur() const { return i < s.size() ? s[i] : '\0'; }
+    char peek(std::size_t n = 1) const
+    {
+        return i + n < s.size() ? s[i + n] : '\0';
+    }
+
+    void
+    advance()
+    {
+        if (s[i] == '\n')
+            ++line;
+        ++i;
+    }
+};
+
+/** Consume a // or block comment starting at the cursor. */
+Token
+lexComment(Cursor& c)
+{
+    Token t{TokKind::Comment, "", c.line, false};
+    std::size_t start = c.i;
+    if (c.peek() == '/') { // line comment
+        while (!c.done() && c.cur() != '\n')
+            c.advance();
+    } else { // block comment
+        c.advance();
+        c.advance();
+        while (!c.done()) {
+            if (c.cur() == '*' && c.peek() == '/') {
+                c.advance();
+                c.advance();
+                break;
+            }
+            c.advance();
+        }
+    }
+    t.text = c.s.substr(start, c.i - start);
+    return t;
+}
+
+/** Consume a quoted literal; @p quote is '"' or '\''. The returned
+ * token text holds the contents without the quotes. */
+Token
+lexQuoted(Cursor& c, char quote)
+{
+    Token t{quote == '"' ? TokKind::String : TokKind::CharLit, "",
+            c.line, false};
+    c.advance(); // opening quote
+    std::string out;
+    while (!c.done()) {
+        char ch = c.cur();
+        if (ch == '\\') {
+            out += ch;
+            c.advance();
+            if (!c.done()) {
+                out += c.cur();
+                c.advance();
+            }
+            continue;
+        }
+        if (ch == quote) {
+            c.advance();
+            break;
+        }
+        if (ch == '\n')
+            break; // unterminated: stop at end of line
+        out += ch;
+        c.advance();
+    }
+    t.text = out;
+    return t;
+}
+
+/** Consume R"delim( ... )delim"; cursor sits on the '"'. */
+Token
+lexRawString(Cursor& c)
+{
+    Token t{TokKind::String, "", c.line, true};
+    c.advance(); // opening quote
+    std::string delim;
+    while (!c.done() && c.cur() != '(' && c.cur() != '\n') {
+        delim += c.cur();
+        c.advance();
+    }
+    if (c.cur() != '(') // malformed raw string: bail with what we have
+        return t;
+    c.advance();
+    const std::string terminator = ")" + delim + "\"";
+    std::string out;
+    while (!c.done()) {
+        if (c.cur() == ')' &&
+            c.s.compare(c.i, terminator.size(), terminator) == 0) {
+            for (std::size_t k = 0; k < terminator.size(); ++k)
+                c.advance();
+            break;
+        }
+        out += c.cur();
+        c.advance();
+    }
+    t.text = out;
+    return t;
+}
+
+/** Consume a pp-number: digits, idents chars, '.', digit separators,
+ * and sign characters following an exponent letter. */
+Token
+lexNumber(Cursor& c)
+{
+    Token t{TokKind::Number, "", c.line, false};
+    std::string out;
+    while (!c.done()) {
+        char ch = c.cur();
+        if (isIdentChar(ch) || ch == '.' || ch == '\'') {
+            out += ch;
+            c.advance();
+            if ((ch == 'e' || ch == 'E' || ch == 'p' || ch == 'P') &&
+                (c.cur() == '+' || c.cur() == '-')) {
+                out += c.cur();
+                c.advance();
+            }
+        } else {
+            break;
+        }
+    }
+    t.text = out;
+    return t;
+}
+
+/**
+ * Consume a whole preprocessor logical line starting at '#'.
+ * Backslash continuations are folded in; a trailing // comment ends
+ * the directive (the comment is lexed separately); block comments
+ * inside are replaced with one space.
+ */
+Token
+lexDirective(Cursor& c)
+{
+    Token t{TokKind::Directive, "", c.line, false};
+    std::string out;
+    while (!c.done()) {
+        char ch = c.cur();
+        if (ch == '\n')
+            break;
+        if (ch == '\\' && c.peek() == '\n') {
+            c.advance();
+            c.advance();
+            out += ' ';
+            continue;
+        }
+        if (ch == '/' && c.peek() == '/')
+            break; // let the main loop lex the comment
+        if (ch == '/' && c.peek() == '*') {
+            lexComment(c); // discard; structure only
+            out += ' ';
+            continue;
+        }
+        if (ch == '"') {
+            // Keep quoted include paths verbatim (escapes are not
+            // meaningful inside an include path).
+            out += ch;
+            c.advance();
+            while (!c.done() && c.cur() != '"' && c.cur() != '\n') {
+                out += c.cur();
+                c.advance();
+            }
+            if (c.cur() == '"') {
+                out += '"';
+                c.advance();
+            }
+            continue;
+        }
+        out += ch;
+        c.advance();
+    }
+    t.text = out;
+    return t;
+}
+
+} // namespace
+
+TokenStream
+lex(const std::string& content)
+{
+    TokenStream ts;
+    Cursor c{content};
+    bool at_line_start = true; // only whitespace seen on this line
+    while (!c.done()) {
+        char ch = c.cur();
+        if (ch == '\n') {
+            c.advance();
+            at_line_start = true;
+            continue;
+        }
+        if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\v' ||
+            ch == '\f') {
+            c.advance();
+            continue;
+        }
+        if (ch == '/' && (c.peek() == '/' || c.peek() == '*')) {
+            ts.tokens.push_back(lexComment(c));
+            // A block comment does not end the "start of line" state:
+            // `  /* x */ #include` is still a directive line.
+            continue;
+        }
+        if (ch == '#' && at_line_start) {
+            ts.tokens.push_back(lexDirective(c));
+            continue;
+        }
+        at_line_start = false;
+        if (isIdentStart(ch)) {
+            Token t{TokKind::Ident, "", c.line, false};
+            std::string name;
+            while (!c.done() && isIdentChar(c.cur())) {
+                name += c.cur();
+                c.advance();
+            }
+            // Literal prefixes: R"..., u8R"..., L"...", u'x', ...
+            if (c.cur() == '"') {
+                const bool raw = name == "R" || name == "u8R" ||
+                                 name == "uR" || name == "UR" ||
+                                 name == "LR";
+                const bool plain = name == "u8" || name == "u" ||
+                                   name == "U" || name == "L";
+                if (raw) {
+                    ts.tokens.push_back(lexRawString(c));
+                    ts.code.push_back(ts.tokens.size() - 1);
+                    continue;
+                }
+                if (plain) {
+                    ts.tokens.push_back(lexQuoted(c, '"'));
+                    ts.code.push_back(ts.tokens.size() - 1);
+                    continue;
+                }
+            } else if (c.cur() == '\'' &&
+                       (name == "u8" || name == "u" || name == "U" ||
+                        name == "L")) {
+                ts.tokens.push_back(lexQuoted(c, '\''));
+                ts.code.push_back(ts.tokens.size() - 1);
+                continue;
+            }
+            t.text = std::move(name);
+            ts.tokens.push_back(std::move(t));
+            ts.code.push_back(ts.tokens.size() - 1);
+            continue;
+        }
+        if (isDigit(ch) || (ch == '.' && isDigit(c.peek()))) {
+            ts.tokens.push_back(lexNumber(c));
+            ts.code.push_back(ts.tokens.size() - 1);
+            continue;
+        }
+        if (ch == '"') {
+            ts.tokens.push_back(lexQuoted(c, '"'));
+            ts.code.push_back(ts.tokens.size() - 1);
+            continue;
+        }
+        if (ch == '\'') {
+            ts.tokens.push_back(lexQuoted(c, '\''));
+            ts.code.push_back(ts.tokens.size() - 1);
+            continue;
+        }
+        // Punctuation; fuse "::" and "->" only.
+        Token t{TokKind::Punct, "", c.line, false};
+        if (ch == ':' && c.peek() == ':') {
+            t.text = "::";
+            c.advance();
+            c.advance();
+        } else if (ch == '-' && c.peek() == '>') {
+            t.text = "->";
+            c.advance();
+            c.advance();
+        } else {
+            t.text = std::string(1, ch);
+            c.advance();
+        }
+        ts.tokens.push_back(std::move(t));
+        ts.code.push_back(ts.tokens.size() - 1);
+    }
+    return ts;
+}
+
+std::string
+directiveKeyword(const std::string& directive_text)
+{
+    std::size_t i = 0;
+    while (i < directive_text.size() && directive_text[i] != '#')
+        ++i;
+    if (i == directive_text.size())
+        return "";
+    ++i;
+    while (i < directive_text.size() &&
+           (directive_text[i] == ' ' || directive_text[i] == '\t'))
+        ++i;
+    std::string word;
+    while (i < directive_text.size() &&
+           isIdentChar(directive_text[i]))
+        word += directive_text[i++];
+    return word;
+}
+
+IncludePath
+parseIncludeDirective(const std::string& directive_text)
+{
+    IncludePath inc;
+    if (directiveKeyword(directive_text) != "include" &&
+        directiveKeyword(directive_text) != "include_next")
+        return inc;
+    std::size_t open = directive_text.find_first_of("<\"",
+                                                    directive_text
+                                                        .find("include"));
+    if (open == std::string::npos)
+        return inc;
+    char close = directive_text[open] == '<' ? '>' : '"';
+    std::size_t end = directive_text.find(close, open + 1);
+    if (end == std::string::npos)
+        return inc;
+    inc.path = directive_text.substr(open + 1, end - open - 1);
+    inc.angled = directive_text[open] == '<';
+    return inc;
+}
+
+} // namespace cosim_analyze

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * cosim_analyze -- cross-TU static analysis for the cosim tree.
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "tools/cosim_analyze/analyzer.hh"
+#include "tools/cosim_analyze/rules.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: cosim_analyze [options]\n"
+        "\n"
+        "  --check-all          analyze src/ tools/ tests/ bench/ "
+        "examples/\n"
+        "  --root=DIR           tree root (default: .)\n"
+        "  --fix                apply mechanical fixes "
+        "(header-guard,\n"
+        "                       include-hygiene, "
+        "trailing-whitespace)\n"
+        "  --cache=FILE         incremental per-file fact cache "
+        "(content-\n"
+        "                       hash keyed; safe to delete any "
+        "time)\n"
+        "  --sarif=FILE         write findings as SARIF 2.1.0\n"
+        "  --baseline=FILE      filter findings whose fingerprint "
+        "is listed\n"
+        "  --write-baseline     rewrite --baseline from current "
+        "findings\n"
+        "  --write-registries   regenerate tools/registries/*.txt "
+        "from code\n"
+        "  --list-rules         print every rule with its "
+        "description\n");
+}
+
+bool
+flagValue(const char* arg, const char* name, std::string* out)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        *out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace cosim_analyze;
+
+    AnalyzeOptions opts;
+    bool check_all = false;
+    bool list_rules = false;
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        if (std::strcmp(a, "--check-all") == 0)
+            check_all = true;
+        else if (std::strcmp(a, "--fix") == 0)
+            opts.fix = true;
+        else if (std::strcmp(a, "--write-baseline") == 0)
+            opts.writeBaseline = true;
+        else if (std::strcmp(a, "--write-registries") == 0)
+            opts.writeRegistries = true;
+        else if (std::strcmp(a, "--list-rules") == 0)
+            list_rules = true;
+        else if (flagValue(a, "--root", &opts.root) ||
+                 flagValue(a, "--cache", &opts.cachePath) ||
+                 flagValue(a, "--sarif", &opts.sarifPath) ||
+                 flagValue(a, "--baseline", &opts.baselinePath)) {
+            // handled
+        } else {
+            std::fprintf(stderr, "cosim_analyze: unknown argument "
+                                 "'%s'\n", a);
+            usage();
+            return 2;
+        }
+    }
+
+    if (list_rules) {
+        for (const std::string& r : allRules())
+            std::printf("%-24s %s\n", r.c_str(),
+                        ruleDescription(r).c_str());
+        return 0;
+    }
+    if (!check_all && !opts.fix && !opts.writeRegistries &&
+        !opts.writeBaseline) {
+        usage();
+        return 2;
+    }
+
+    const AnalyzeResult res = analyzeTree(opts);
+    for (const std::string& e : res.errors)
+        std::fprintf(stderr, "cosim_analyze: %s\n", e.c_str());
+    for (const FingerprintedFinding& f : res.findings)
+        std::printf("%s\n", f.finding.format().c_str());
+    std::fprintf(stderr,
+                 "cosim_analyze: %d files, %d cache hits, %zu "
+                 "findings (%zu baselined)\n",
+                 res.filesScanned, res.cacheHits,
+                 res.findings.size(), res.baselined.size());
+    if (res.ioError)
+        return 2;
+    return res.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,167 @@
+#include "tools/cosim_analyze/sarif.hh"
+
+#include <cstdint>
+
+#include "tools/cosim_analyze/rules.hh"
+
+namespace cosim_analyze {
+
+namespace {
+
+std::string
+trim(const std::string& s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char* hex = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+fnv1a(const std::string& s, std::uint64_t h)
+{
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+std::string
+fingerprintOf(const Finding& f, const std::string& line_text,
+              int occurrence)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    h = fnv1a(f.file, h);
+    h = fnv1a("|", h);
+    h = fnv1a(f.rule, h);
+    h = fnv1a("|", h);
+    h = fnv1a(trim(line_text), h);
+    h = fnv1a("|", h);
+    h = fnv1a(std::to_string(occurrence), h);
+    static const char* hex = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = hex[h & 0xf];
+        h >>= 4;
+    }
+    return out;
+}
+
+std::string
+toSarif(const std::vector<FingerprintedFinding>& findings)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"$schema\": \"https://raw.githubusercontent.com/oasis-"
+           "tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n";
+    out += "  \"version\": \"2.1.0\",\n";
+    out += "  \"runs\": [\n";
+    out += "    {\n";
+    out += "      \"tool\": {\n";
+    out += "        \"driver\": {\n";
+    out += "          \"name\": \"cosim_analyze\",\n";
+    out += "          \"informationUri\": "
+           "\"https://example.invalid/cosim/tools/cosim_analyze\",\n";
+    out += "          \"rules\": [\n";
+    const std::vector<std::string> rules = allRules();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        out += "            {\"id\": \"" + jsonEscape(rules[i]) +
+               "\", \"shortDescription\": {\"text\": \"" +
+               jsonEscape(ruleDescription(rules[i])) + "\"}}";
+        out += i + 1 < rules.size() ? ",\n" : "\n";
+    }
+    out += "          ]\n";
+    out += "        }\n";
+    out += "      },\n";
+    out += "      \"results\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i].finding;
+        out += "        {\n";
+        out += "          \"ruleId\": \"" + jsonEscape(f.rule) +
+               "\",\n";
+        out += "          \"level\": \"error\",\n";
+        out += "          \"message\": {\"text\": \"" +
+               jsonEscape(f.message) + "\"},\n";
+        out += "          \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \"" +
+               jsonEscape(f.file) +
+               "\"}, \"region\": {\"startLine\": " +
+               std::to_string(f.line > 0 ? f.line : 1) + "}}}],\n";
+        out += "          \"partialFingerprints\": "
+               "{\"cosimAnalyze/v1\": \"" +
+               jsonEscape(findings[i].fingerprint) + "\"}\n";
+        out += i + 1 < findings.size() ? "        },\n"
+                                       : "        }\n";
+    }
+    out += "      ]\n";
+    out += "    }\n";
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::set<std::string>
+parseBaseline(const std::string& content)
+{
+    std::set<std::string> out;
+    std::size_t start = 0;
+    while (start <= content.size()) {
+        std::size_t nl = content.find('\n', start);
+        std::string l = nl == std::string::npos
+                            ? content.substr(start)
+                            : content.substr(start, nl - start);
+        l = trim(l);
+        if (!l.empty() && l[0] != '#')
+            out.insert(l);
+        if (nl == std::string::npos)
+            break;
+        start = nl + 1;
+    }
+    return out;
+}
+
+std::string
+formatBaseline(const std::vector<FingerprintedFinding>& findings)
+{
+    std::string out =
+        "# cosim_analyze baseline: accepted pre-existing findings.\n"
+        "# One fingerprint per line; regenerate with "
+        "--write-baseline.\n";
+    std::set<std::string> prints;
+    for (const FingerprintedFinding& f : findings)
+        prints.insert(f.fingerprint);
+    for (const std::string& p : prints)
+        out += p + "\n";
+    return out;
+}
+
+} // namespace cosim_analyze

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * SARIF 2.1.0 rendering and the finding-fingerprint baseline.
+ *
+ * Fingerprints are stable across unrelated edits: FNV-1a over
+ * (file | rule | trimmed text of the flagged line | occurrence index
+ * among identical tuples), so renumbering lines does not churn the
+ * baseline but changing the flagged code does. The same fingerprint
+ * feeds SARIF `partialFingerprints` (for code-scanning dedup) and the
+ * plain-text baseline file consumed by `--baseline`.
+ */
+
+#ifndef COSIM_TOOLS_COSIM_ANALYZE_SARIF_HH
+#define COSIM_TOOLS_COSIM_ANALYZE_SARIF_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/cosim_analyze/facts.hh"
+
+namespace cosim_analyze {
+
+/** A finding paired with its stable fingerprint. */
+struct FingerprintedFinding
+{
+    Finding finding;
+    std::string fingerprint; ///< 16 hex digits
+};
+
+/** FNV-1a fingerprint; @p line_text is the raw source line the
+ * finding anchors to and @p occurrence disambiguates identical
+ * (file, rule, line-text) tuples. */
+std::string fingerprintOf(const Finding& f,
+                          const std::string& line_text,
+                          int occurrence);
+
+/** Render a complete SARIF 2.1.0 document (one run, one result per
+ * finding, a rule table covering every known rule). */
+std::string toSarif(const std::vector<FingerprintedFinding>& findings);
+
+/** Parse a baseline file: one fingerprint per line, '#' comments. */
+std::set<std::string> parseBaseline(const std::string& content);
+
+/** Render a baseline file for --write-baseline. */
+std::string formatBaseline(
+    const std::vector<FingerprintedFinding>& findings);
+
+} // namespace cosim_analyze
+
+#endif // COSIM_TOOLS_COSIM_ANALYZE_SARIF_HH
