@@ -23,6 +23,14 @@
  *   cosim_inspect plan <file.plan.json>   sampling plan: cosim-plan/1
  *                                         schema and structural
  *                                         invariants (SamplingPlan)
+ *   cosim_inspect journal <file.jsonl>    sweep write-ahead journal:
+ *                                         cosim-journal/1 schema, dense
+ *                                         seq, per-cell state machine,
+ *                                         no cell left unfinished
+ *   cosim_inspect diff-run <a> <b>        compare two run manifests
+ *                                         after dropping host timing
+ *                                         and the resume block (the
+ *                                         crash-and-resume CI gate)
  *   cosim_inspect sampling <run.json> <tolerances.json> [baseline.json]
  *                          [--min-speedup=<x>]
  *                                         gate a sampled run's per-
@@ -43,6 +51,7 @@
 #include <sstream>
 #include <string>
 
+#include "harness/sweep_journal.hh"
 #include "obs/json.hh"
 #include "obs/run_manifest.hh"
 #include "trace/phase_cluster.hh"
@@ -658,6 +667,426 @@ inspectSampling(const char* run_path, const char* tol_path,
     return bad == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------
+// Crash-safe sweeps: journal validation, normalized run comparison.
+// ---------------------------------------------------------------------
+
+/** u64-ish field: JSON number (counts) or decimal string (digests). */
+bool
+journalU64(const Value& rec, const char* key, std::string* out)
+{
+    const Value* v = rec.find(key);
+    if (v == nullptr)
+        return false;
+    if (v->isNumber()) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", v->num);
+        *out = buf;
+        return true;
+    }
+    if (v->isString() && !v->str.empty()) {
+        for (char c : v->str) {
+            if (c < '0' || c > '9')
+                return false;
+        }
+        *out = v->str;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Validate a sweep write-ahead journal (harness/sweep_journal.hh):
+ * record 0 is a `sweep_plan` carrying the cosim-journal/1 schema; seq
+ * is dense from 0; every event carries its required fields; each
+ * cell's records follow the planned -> running -> done/failed state
+ * machine (resumes may re-plan a cell). A torn final line (no trailing
+ * newline) is noted and ignored -- WAL semantics say the interrupted
+ * append never happened -- but a cell left in "running" is an error:
+ * the sweep crashed and was never resumed.
+ */
+int
+inspectJournal(const char* path)
+{
+    bool ok = false;
+    const std::string text = readAll(path, &ok);
+    if (!ok)
+        return 1;
+
+    int bad = 0;
+    auto complain = [&](std::size_t lineno, const char* what) {
+        std::fprintf(stderr, "%s:%zu: %s\n", path, lineno, what);
+        ++bad;
+    };
+
+    const bool torn = !text.empty() && text.back() != '\n';
+    std::vector<std::string> lines = splitLines(text);
+    if (torn && !lines.empty()) {
+        std::printf("note: torn final line ignored (interrupted "
+                    "append)\n");
+        lines.pop_back();
+    }
+
+    std::size_t expected_seq = 0;
+    std::string figure = "?";
+    std::string digest = "?";
+    std::size_t planned_cells = 0;
+    bool saw_plan = false;
+    bool saw_sweep_done = false;
+    // Latest state per cell, journal order.
+    std::vector<std::pair<std::string, std::string>> cells;
+    auto stateOf = [&](const std::string& name) -> std::string& {
+        for (auto& entry : cells) {
+            if (entry.first == name)
+                return entry.second;
+        }
+        cells.emplace_back(name, std::string());
+        return cells.back().second;
+    };
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::size_t lineno = i + 1;
+        if (lines[i].empty()) {
+            complain(lineno, "empty record");
+            continue;
+        }
+        Value rec;
+        std::string jerr;
+        if (!obs::json::parse(lines[i], rec, &jerr) || !rec.isObject()) {
+            complain(lineno, ("bad JSON: " + jerr).c_str());
+            continue;
+        }
+        const Value* seq = rec.find("seq");
+        const Value* t_us = rec.find("t_us");
+        const Value* event = rec.find("event");
+        if (seq == nullptr || !seq->isNumber() || t_us == nullptr ||
+            !t_us->isNumber() || event == nullptr ||
+            !event->isString()) {
+            complain(lineno, "missing seq/t_us/event fields");
+            continue;
+        }
+        if (seq->num != static_cast<double>(expected_seq)) {
+            complain(lineno,
+                     "seq not dense (journal must number records "
+                     "densely from 0, across resumes)");
+        }
+        ++expected_seq;
+        const std::string& ev = event->str;
+        if (i == 0 && ev != "sweep_plan") {
+            complain(lineno, "first record must be sweep_plan");
+        }
+
+        std::string cell_name;
+        const Value* cell = rec.find("cell");
+        if (cell != nullptr && cell->isString())
+            cell_name = cell->str;
+
+        if (ev == "sweep_plan") {
+            const std::string schema =
+                stringOr(rec.find("schema"), "?");
+            if (schema != kJournalSchema) {
+                complain(lineno,
+                         ("unsupported schema '" + schema + "'").c_str());
+            }
+            if (saw_plan)
+                complain(lineno, "duplicate sweep_plan");
+            saw_plan = true;
+            figure = stringOr(rec.find("figure"), "?");
+            const Value* n = rec.find("cells");
+            if (!journalU64(rec, "config_digest", &digest))
+                complain(lineno, "missing config_digest");
+            if (n == nullptr || !n->isNumber())
+                complain(lineno, "missing cells count");
+            else
+                planned_cells = static_cast<std::size_t>(n->num);
+        } else if (ev == "planned") {
+            if (cell_name.empty()) {
+                complain(lineno, "planned without cell");
+                continue;
+            }
+            stateOf(cell_name) = "planned";
+        } else if (ev == "running") {
+            const Value* attempt = rec.find("attempt");
+            const Value* pid = rec.find("pid");
+            if (cell_name.empty() || attempt == nullptr ||
+                !attempt->isNumber() || attempt->num < 1 ||
+                pid == nullptr || !pid->isNumber() || pid->num < 0) {
+                complain(lineno, "running needs cell, attempt >= 1 and "
+                                 "pid >= 0 (0 = in-process)");
+                continue;
+            }
+            std::string& state = stateOf(cell_name);
+            if (state != "planned" && state != "running") {
+                complain(lineno,
+                         "running without a preceding planned record");
+            }
+            state = "running";
+        } else if (ev == "done" || ev == "failed") {
+            const Value* attempts = rec.find("attempts");
+            bool fields_ok = !cell_name.empty() && attempts != nullptr &&
+                             attempts->isNumber() && attempts->num >= 1;
+            if (ev == "done") {
+                std::string u64;
+                const Value* artifact = rec.find("artifact");
+                fields_ok = fields_ok && artifact != nullptr &&
+                            artifact->isString() &&
+                            journalU64(rec, "bytes", &u64) &&
+                            journalU64(rec, "digest", &u64);
+            } else {
+                const Value* error = rec.find("error");
+                const Value* kind = rec.find("exit_kind");
+                const Value* code = rec.find("exit_code");
+                fields_ok =
+                    fields_ok && error != nullptr && error->isString() &&
+                    kind != nullptr && kind->isString() &&
+                    (kind->str == "error" || kind->str == "exit" ||
+                     kind->str == "signal" || kind->str == "timeout") &&
+                    code != nullptr && code->isNumber();
+            }
+            if (!fields_ok) {
+                complain(lineno, ev == "done"
+                                     ? "incomplete done record (cell, "
+                                       "attempts, artifact, bytes, "
+                                       "digest)"
+                                     : "incomplete failed record (cell, "
+                                       "attempts, error, exit_kind, "
+                                       "exit_code)");
+                continue;
+            }
+            std::string& state = stateOf(cell_name);
+            if (state != "running") {
+                complain(lineno, ev == "done"
+                                     ? "done without a running record"
+                                     : "failed without a running record");
+            }
+            state = ev;
+        } else if (ev == "resume_skip") {
+            if (cell_name.empty()) {
+                complain(lineno, "resume_skip without cell");
+                continue;
+            }
+            std::string& state = stateOf(cell_name);
+            if (state != "done" && state != "skipped") {
+                complain(lineno, "resume_skip for a cell never recorded "
+                                 "done");
+            }
+            state = "skipped";
+        } else if (ev == "resume") {
+            std::string u64;
+            if (!journalU64(rec, "skipped", &u64) ||
+                !journalU64(rec, "rerun", &u64))
+                complain(lineno, "resume needs skipped and rerun");
+        } else if (ev == "sweep_done") {
+            std::string u64;
+            if (!journalU64(rec, "ok", &u64) ||
+                !journalU64(rec, "failed", &u64))
+                complain(lineno, "sweep_done needs ok and failed");
+            saw_sweep_done = true;
+        } else {
+            complain(lineno, ("unknown event '" + ev + "'").c_str());
+        }
+    }
+
+    if (!saw_plan) {
+        std::fprintf(stderr, "%s: no sweep_plan record\n", path);
+        return 1;
+    }
+
+    std::size_t n_done = 0, n_failed = 0, n_skipped = 0, n_stale = 0;
+    for (const auto& entry : cells) {
+        if (entry.second == "done")
+            ++n_done;
+        else if (entry.second == "failed")
+            ++n_failed;
+        else if (entry.second == "skipped")
+            ++n_skipped;
+        else
+            ++n_stale;
+    }
+    // A cell left planned/running means the sweep died and nothing
+    // resumed it -- exactly what the journal exists to surface.
+    for (const auto& entry : cells) {
+        if (entry.second == "running" || entry.second == "planned") {
+            std::fprintf(stderr,
+                         "%s: cell '%s' left '%s' -- interrupted sweep "
+                         "(resume it with --resume=%s)\n",
+                         path, entry.first.c_str(),
+                         entry.second.c_str(), path);
+            ++bad;
+        }
+    }
+
+    std::printf("%s: %zu record(s), figure %s, config digest %s\n",
+                path, expected_seq, figure.c_str(), digest.c_str());
+    std::printf("  cells: %zu planned, %zu done, %zu failed, "
+                "%zu resume-skipped, %zu unfinished%s\n",
+                planned_cells, n_done, n_failed, n_skipped, n_stale,
+                saw_sweep_done ? "" : " (no sweep_done record)");
+    return bad == 0 ? 0 : 1;
+}
+
+/** Keys dropped by the diff-run normalization, per enclosing object. */
+void
+normalizeErase(Value& obj, const char* const* keys, std::size_t n)
+{
+    if (!obj.isObject())
+        return;
+    for (std::size_t i = 0; i < obj.obj.size();) {
+        bool drop = false;
+        for (std::size_t k = 0; k < n; ++k)
+            drop = drop || obj.obj[i].first == keys[k];
+        if (drop)
+            obj.obj.erase(obj.obj.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        else
+            ++i;
+    }
+}
+
+/**
+ * Strip the fields of a run manifest that legitimately differ between
+ * two runs of the same sweep configuration: host timing (wall seconds,
+ * MIPS, speedup, profiler phases, stream encode/decode seconds) and
+ * the resume block. Everything else -- results, series, verification,
+ * statuses, stream byte/txn counts -- must match exactly.
+ */
+void
+normalizeRun(Value& doc)
+{
+    static const char* kTop[] = {"resume"};
+    static const char* kHost[] = {"sim_mips", "wall_seconds", "speedup",
+                                  "phases"};
+    static const char* kStream[] = {"seconds"};
+    static const char* kWorkload[] = {"host_seconds", "sim_mips"};
+    normalizeErase(doc, kTop, 1);
+    for (auto& member : doc.obj) {
+        if (member.first == "host") {
+            normalizeErase(member.second, kHost, 4);
+        } else if (member.first == "stream") {
+            for (auto& sub : member.second.obj) {
+                if (sub.first == "capture" || sub.first == "replay")
+                    normalizeErase(sub.second, kStream, 1);
+            }
+        } else if (member.first == "workloads" &&
+                   member.second.isArray()) {
+            for (Value& w : member.second.arr)
+                normalizeErase(w, kWorkload, 2);
+        }
+    }
+}
+
+/** Render a scalar Value for a diff message. */
+std::string
+briefValue(const Value& v)
+{
+    switch (v.type) {
+      case Value::Type::Null: return "null";
+      case Value::Type::Bool: return v.boolean ? "true" : "false";
+      case Value::Type::Number: return obs::json::number(v.num);
+      case Value::Type::String: return "\"" + v.str + "\"";
+      case Value::Type::Array:
+        return "[" + std::to_string(v.arr.size()) + " elements]";
+      case Value::Type::Object:
+        return "{" + std::to_string(v.obj.size()) + " members}";
+    }
+    return "?";
+}
+
+/** Structural comparison; reports every mismatch with its JSON path. */
+void
+diffValues(const std::string& where, const Value& a, const Value& b,
+           int* bad)
+{
+    if (a.type != b.type) {
+        std::fprintf(stderr, "  %s: %s vs %s\n", where.c_str(),
+                     briefValue(a).c_str(), briefValue(b).c_str());
+        ++*bad;
+        return;
+    }
+    switch (a.type) {
+      case Value::Type::Array:
+        if (a.arr.size() != b.arr.size()) {
+            std::fprintf(stderr, "  %s: %zu vs %zu elements\n",
+                         where.c_str(), a.arr.size(), b.arr.size());
+            ++*bad;
+            return;
+        }
+        for (std::size_t i = 0; i < a.arr.size(); ++i) {
+            diffValues(where + "[" + std::to_string(i) + "]", a.arr[i],
+                       b.arr[i], bad);
+        }
+        return;
+      case Value::Type::Object: {
+        // Key order is part of the serialization; our own exporter is
+        // deterministic, so compare in order.
+        if (a.obj.size() != b.obj.size()) {
+            std::fprintf(stderr, "  %s: %zu vs %zu members\n",
+                         where.c_str(), a.obj.size(), b.obj.size());
+            ++*bad;
+            return;
+        }
+        for (std::size_t i = 0; i < a.obj.size(); ++i) {
+            if (a.obj[i].first != b.obj[i].first) {
+                std::fprintf(stderr, "  %s: key '%s' vs '%s'\n",
+                             where.c_str(), a.obj[i].first.c_str(),
+                             b.obj[i].first.c_str());
+                ++*bad;
+                continue;
+            }
+            diffValues(where + "." + a.obj[i].first, a.obj[i].second,
+                       b.obj[i].second, bad);
+        }
+        return;
+      }
+      default:
+        if (a.boolean != b.boolean || a.num != b.num || a.str != b.str) {
+            std::fprintf(stderr, "  %s: %s vs %s\n", where.c_str(),
+                         briefValue(a).c_str(), briefValue(b).c_str());
+            ++*bad;
+        }
+        return;
+    }
+}
+
+/**
+ * Compare two run manifests after normalization (see normalizeRun):
+ * the crash-and-resume CI gate uses this to assert a resumed sweep
+ * reproduced its uninterrupted baseline exactly, host timing aside.
+ */
+int
+inspectDiffRun(const char* path_a, const char* path_b)
+{
+    Value docs[2];
+    const char* paths[2] = {path_a, path_b};
+    for (int i = 0; i < 2; ++i) {
+        bool ok = false;
+        const std::string text = readAll(paths[i], &ok);
+        if (!ok)
+            return 1;
+        std::string error;
+        if (!obs::json::parse(text, docs[i], &error)) {
+            std::fprintf(stderr, "cosim_inspect: %s: %s\n", paths[i],
+                         error.c_str());
+            return 1;
+        }
+        normalizeRun(docs[i]);
+    }
+    int bad = 0;
+    diffValues("run", docs[0], docs[1], &bad);
+    if (bad != 0) {
+        std::fprintf(stderr,
+                     "diff-run: %d difference(s) between %s and %s "
+                     "(host timing and resume fields already "
+                     "ignored)\n",
+                     bad, path_a, path_b);
+        return 1;
+    }
+    std::printf("diff-run: %s and %s describe the same run (host "
+                "timing aside)\n",
+                path_a, path_b);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -673,7 +1102,11 @@ main(int argc, char** argv)
             return inspectPostmortem(argv[2]);
         if (cmd == "plan")
             return inspectPlan(argv[2]);
+        if (cmd == "journal")
+            return inspectJournal(argv[2]);
     }
+    if (argc == 4 && std::string(argv[1]) == "diff-run")
+        return inspectDiffRun(argv[2], argv[3]);
     if (argc >= 4 && argc <= 6) {
         const std::string cmd = argv[1];
         if (cmd == "sampling") {
@@ -711,6 +1144,10 @@ main(int argc, char** argv)
                      "       cosim_inspect metrics <file.om>\n"
                      "       cosim_inspect postmortem <file.json>\n"
                      "       cosim_inspect plan <file.plan.json>\n"
+                     "       cosim_inspect journal <sweep.journal."
+                     "jsonl>\n"
+                     "       cosim_inspect diff-run <run.json> "
+                     "<run.json>\n"
                      "       cosim_inspect sampling <run.json> "
                      "<tolerances.json> [baseline run.json]\n"
                      "                     [--min-speedup=<x>]\n");

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "base/fault.hh"
 #include "base/logging.hh"
 
@@ -89,6 +92,42 @@ AppendFile::appendLine(const std::string& line)
     out_ << line << '\n';
     out_.flush();
     return static_cast<bool>(out_);
+}
+
+DurableAppendFile::DurableAppendFile(const std::string& path,
+                                     bool truncate)
+    : path_(path)
+{
+    int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+    if (truncate)
+        flags |= O_TRUNC;
+    fd_ = ::open(path_.c_str(), flags, 0644);
+    if (fd_ < 0)
+        throw IoError("cannot open '" + path_ + "' for appending");
+}
+
+DurableAppendFile::~DurableAppendFile()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+DurableAppendFile::appendLine(const std::string& line)
+{
+    if (fd_ < 0)
+        return false;
+    std::string rec = line;
+    rec += '\n';
+    // One write() per record: O_APPEND places it contiguously at EOF.
+    const ssize_t n = ::write(fd_, rec.data(), rec.size());
+    if (n != static_cast<ssize_t>(rec.size()) ||
+        ::fdatasync(fd_) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    return true;
 }
 
 } // namespace cosim

@@ -132,6 +132,63 @@ class AppendFile
     std::ofstream out_;
 };
 
+/**
+ * Durable atomic-append stream: the write-ahead-journal discipline.
+ *
+ * AppendFile is the right shape for diagnostics (truncate on open,
+ * buffered ofstream, lost on power cut); a *journal* that crash
+ * recovery replays needs more: an existing file must be appendable
+ * (resume), each record must reach the disk before the caller acts on
+ * its success, and a record must never tear even when several
+ * processes hold the file open. DurableAppendFile provides exactly
+ * that:
+ *
+ *   - open(2) with O_APPEND: POSIX makes each write() land at the
+ *     current end atomically, so one appendLine() is one contiguous
+ *     record regardless of who else appends.
+ *   - one write() call per line (line + '\n' in a single buffer), so a
+ *     crash mid-append leaves at most one torn *final* line, which a
+ *     reader can detect (no trailing newline) and discard.
+ *   - fdatasync() before reporting success, so "appendLine() returned
+ *     true" means "the record survives a power cut".
+ *
+ * Like AppendFile, write failures after open are reported by a false
+ * return rather than an exception -- journal writers degrade to
+ * journal-less operation instead of killing the sweep they protect.
+ * harness/sweep_journal.cc layers the "journal.write.fail" fault site
+ * on top; cosim_analyze's journal-atomic-append rule keeps journal
+ * writers on this class.
+ */
+class DurableAppendFile
+{
+  public:
+    /**
+     * Opens @p path for appending, creating it when absent. With
+     * @p truncate, any existing content is discarded first (fresh
+     * journal); without, appends continue after the existing records
+     * (resume). @throws IoError when the file cannot be opened.
+     */
+    explicit DurableAppendFile(const std::string& path,
+                               bool truncate = false);
+    ~DurableAppendFile();
+
+    DurableAppendFile(const DurableAppendFile&) = delete;
+    DurableAppendFile& operator=(const DurableAppendFile&) = delete;
+
+    /**
+     * Append @p line plus a trailing newline as one write() and sync
+     * it to disk. @return false on failure (and on every later call);
+     * never throws. Lines must not themselves contain '\n'.
+     */
+    bool appendLine(const std::string& line);
+
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+};
+
 } // namespace cosim
 
 #endif // COSIM_BASE_ATOMIC_FILE_HH

@@ -1,0 +1,284 @@
+#include "base/subprocess.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include "base/atomic_file.hh"
+#include "base/host_clock.hh"
+#include "base/str.hh"
+
+namespace cosim {
+namespace {
+
+/** A pipe pair; both ends O_CLOEXEC so children never inherit stray
+ * descriptors (the child ends are re-armed with dup2/F_SETFD). */
+struct Pipe
+{
+    int rd = -1;
+    int wr = -1;
+
+    void
+    open()
+    {
+        int fds[2];
+        if (::pipe2(fds, O_CLOEXEC) != 0)
+            throw IoError(std::string("pipe2: ") + std::strerror(errno));
+        rd = fds[0];
+        wr = fds[1];
+    }
+
+    void
+    closeBoth()
+    {
+        if (rd >= 0)
+            ::close(rd);
+        if (wr >= 0)
+            ::close(wr);
+        rd = wr = -1;
+    }
+};
+
+void
+appendTail(std::string* tail, const char* data, std::size_t n,
+           std::size_t cap)
+{
+    tail->append(data, n);
+    if (tail->size() > cap)
+        tail->erase(0, tail->size() - cap);
+}
+
+} // namespace
+
+std::string
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGHUP: return "SIGHUP";
+      case SIGINT: return "SIGINT";
+      case SIGQUIT: return "SIGQUIT";
+      case SIGILL: return "SIGILL";
+      case SIGTRAP: return "SIGTRAP";
+      case SIGABRT: return "SIGABRT";
+      case SIGBUS: return "SIGBUS";
+      case SIGFPE: return "SIGFPE";
+      case SIGKILL: return "SIGKILL";
+      case SIGSEGV: return "SIGSEGV";
+      case SIGPIPE: return "SIGPIPE";
+      case SIGALRM: return "SIGALRM";
+      case SIGTERM: return "SIGTERM";
+      default: return "SIG" + std::to_string(sig);
+    }
+}
+
+std::string
+SubprocessResult::describe() const
+{
+    switch (end) {
+      case End::Exited:
+        return "exited " + std::to_string(exitCode);
+      case End::Signaled:
+        return "killed by " + signalName;
+      case End::TimedOut:
+        return strFormat("silent too long, SIGKILLed (pid %d)", pid);
+    }
+    return "unknown";
+}
+
+SubprocessResult
+runSubprocess(const SubprocessOptions& opts)
+{
+    Pipe out;
+    Pipe err;
+    Pipe hb;
+    out.open();
+    err.open();
+    std::vector<std::string> argv = opts.argv;
+    if (opts.heartbeatPipe) {
+        hb.open();
+        argv.push_back(opts.heartbeatArgPrefix + std::to_string(hb.wr));
+    }
+
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (std::string& arg : argv)
+        cargv.push_back(arg.data());
+    cargv.push_back(nullptr);
+
+    const std::uint64_t start_us = hostClockNowUs();
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        out.closeBoth();
+        err.closeBoth();
+        hb.closeBoth();
+        throw IoError(std::string("fork: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+        // Child. dup2 clears O_CLOEXEC on 1/2; the heartbeat write end
+        // keeps its fd number, so strip its close-on-exec flag.
+        ::dup2(out.wr, STDOUT_FILENO);
+        ::dup2(err.wr, STDERR_FILENO);
+        if (hb.wr >= 0)
+            ::fcntl(hb.wr, F_SETFD, 0);
+        // Own process group, so a watchdog kill reaps grandchildren
+        // too -- otherwise they keep the pipe write ends open and the
+        // parent blocks on EOF until they exit on their own.
+        ::setpgid(0, 0);
+#ifdef __linux__
+        // Die with the parent: a SIGKILLed sweep must not leave orphan
+        // cells running -- a later --resume would race them on the
+        // shared artifact paths. Survives exec; guard the fork/signal
+        // race where the parent died before the prctl armed.
+        ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+        if (::getppid() == 1)
+            ::_exit(127);
+#endif
+        ::execvp(cargv[0], cargv.data());
+        const char* msg = "subprocess: exec failed\n";
+        ssize_t rc = ::write(STDERR_FILENO, msg, std::strlen(msg));
+        (void)rc;
+        ::_exit(127);
+    }
+
+    // Parent: drop the write ends so EOF tracks child death, and poll
+    // the read ends until all close.
+    ::close(out.wr);
+    out.wr = -1;
+    ::close(err.wr);
+    err.wr = -1;
+    if (hb.wr >= 0) {
+        ::close(hb.wr);
+        hb.wr = -1;
+    }
+    // Mirror the child's setpgid so a kill cannot race the exec; one
+    // side always wins, and failure after the exec is harmless.
+    ::setpgid(pid, pid);
+    if (opts.onSpawn)
+        opts.onSpawn(pid);
+
+    SubprocessResult res;
+    res.pid = pid;
+    std::uint64_t last_activity_us = hostClockNowUs();
+    bool killed_for_silence = false;
+    const std::uint64_t budget_us = opts.silenceTimeout > 0
+        ? static_cast<std::uint64_t>(opts.silenceTimeout * 1e6)
+        : 0;
+
+    struct Stream
+    {
+        int fd;
+        std::string* tail; ///< null for the heartbeat pipe
+    };
+    std::vector<Stream> streams;
+    streams.push_back(Stream{out.rd, &res.stdoutTail});
+    streams.push_back(Stream{err.rd, &res.stderrTail});
+    if (hb.rd >= 0)
+        streams.push_back(Stream{hb.rd, nullptr});
+    for (const Stream& s : streams)
+        ::fcntl(s.fd, F_SETFL, O_NONBLOCK);
+
+    char buf[4096];
+    while (!streams.empty()) {
+        std::vector<struct pollfd> pfds;
+        pfds.reserve(streams.size());
+        for (const Stream& s : streams)
+            pfds.push_back(pollfd{s.fd, POLLIN, 0});
+        int timeout_ms = 200;
+        if (budget_us > 0 && !killed_for_silence) {
+            const std::uint64_t now = hostClockNowUs();
+            const std::uint64_t quiet = now - last_activity_us;
+            const std::uint64_t left =
+                quiet >= budget_us ? 0 : budget_us - quiet;
+            if (left / 1000 < static_cast<std::uint64_t>(timeout_ms))
+                timeout_ms = static_cast<int>(left / 1000) + 1;
+        }
+        const int nready =
+            ::poll(pfds.data(), pfds.size(), timeout_ms);
+        if (nready < 0 && errno != EINTR)
+            break;
+        bool activity = false;
+        for (std::size_t i = 0; i < pfds.size(); ++i) {
+            if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+                continue;
+            for (;;) {
+                const ssize_t n = ::read(pfds[i].fd, buf, sizeof buf);
+                if (n > 0) {
+                    activity = true;
+                    Stream& s = streams[i];
+                    if (s.tail != nullptr) {
+                        appendTail(s.tail, buf, static_cast<std::size_t>(n),
+                                   opts.tailBytes);
+                    } else {
+                        res.heartbeats += static_cast<std::uint64_t>(n);
+                        if (opts.onHeartbeat)
+                            opts.onHeartbeat(res.heartbeats);
+                    }
+                    continue;
+                }
+                if (n == 0) {
+                    streams[i].fd = -1; // EOF
+                    break;
+                }
+                break; // EAGAIN or error: poll again
+            }
+        }
+        for (std::size_t i = streams.size(); i-- > 0;) {
+            if (streams[i].fd == -1)
+                streams.erase(streams.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+        }
+        const std::uint64_t now = hostClockNowUs();
+        if (activity)
+            last_activity_us = now;
+        else if (budget_us > 0 && !killed_for_silence &&
+                 now - last_activity_us >= budget_us) {
+            // Kill the whole group: grandchildren holding the pipe
+            // write ends would otherwise stall the EOF drain below.
+            if (::kill(-pid, SIGKILL) != 0)
+                ::kill(pid, SIGKILL);
+            killed_for_silence = true;
+            // Keep draining until the pipes report EOF; the kill makes
+            // that prompt.
+        }
+    }
+    out.closeBoth();
+    err.closeBoth();
+    hb.closeBoth();
+
+    int status = 0;
+    struct rusage ru;
+    std::memset(&ru, 0, sizeof ru);
+    pid_t waited;
+    do {
+        waited = ::wait4(pid, &status, 0, &ru);
+    } while (waited < 0 && errno == EINTR);
+
+    res.wallSeconds =
+        static_cast<double>(hostClockNowUs() - start_us) / 1e6;
+    res.maxRssKb = static_cast<std::uint64_t>(ru.ru_maxrss);
+    if (killed_for_silence) {
+        res.end = SubprocessResult::End::TimedOut;
+        res.termSignal = SIGKILL;
+        res.signalName = cosim::signalName(SIGKILL);
+    } else if (WIFSIGNALED(status)) {
+        res.end = SubprocessResult::End::Signaled;
+        res.termSignal = WTERMSIG(status);
+        res.signalName = cosim::signalName(res.termSignal);
+    } else {
+        res.end = SubprocessResult::End::Exited;
+        res.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+    return res;
+}
+
+} // namespace cosim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Child-process execution with output capture and a silence watchdog.
+ *
+ * The sweep harness gets true fault containment by re-executing itself
+ * with a `--run-cell` entrypoint: a wild write, abort, or wedged loop
+ * in one cell then takes down a forked child instead of the whole
+ * sweep. This module owns the OS mechanics only -- fork/execvp, pipe
+ * plumbing, poll()-driven capture, SIGKILL on silence, wait4 status
+ * and rusage decoding -- and knows nothing about cells or journals.
+ *
+ * Liveness, not wall time: the watchdog question mirrors CellWatch's
+ * (obs/progress.hh). Any byte the child writes to stdout, stderr, or
+ * the optional heartbeat pipe counts as activity; only a child that is
+ * *silent* longer than `silenceTimeout` is killed. A slow but chatty
+ * cell is never shot while a wedged one still is.
+ *
+ * The heartbeat pipe is created before the fork so its write-end fd
+ * number can be passed to the child on the command line
+ * (`heartbeatArgPrefix` + fd). The child publishes liveness with
+ * rate-limited one-byte writes (HeartbeatSlot::bindPipe); the parent
+ * drains them and invokes `onHeartbeat` so a live progress view keeps
+ * ticking for isolated cells.
+ */
+
+#ifndef COSIM_BASE_SUBPROCESS_HH
+#define COSIM_BASE_SUBPROCESS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cosim {
+
+/** Decoded end state of one child process. */
+struct SubprocessResult
+{
+    enum class End
+    {
+        Exited,   ///< normal exit; see exitCode
+        Signaled, ///< killed by a signal; see termSignal/signalName
+        TimedOut, ///< silent past the watchdog budget; SIGKILLed by us
+    };
+
+    End end = End::Exited;
+    int pid = 0;
+    int exitCode = 0;       ///< valid when end == Exited
+    int termSignal = 0;     ///< valid when end != Exited
+    std::string signalName; ///< "SIGSEGV" style; empty when Exited
+    std::string stdoutTail; ///< last `tailBytes` of child stdout
+    std::string stderrTail; ///< last `tailBytes` of child stderr
+    std::uint64_t heartbeats = 0; ///< bytes drained from the heartbeat pipe
+    std::uint64_t maxRssKb = 0;   ///< child peak RSS (wait4 rusage)
+    double wallSeconds = 0.0;
+
+    bool ok() const { return end == End::Exited && exitCode == 0; }
+    /** "exited 0" / "killed by SIGSEGV" / "silent >2.0s, SIGKILLed". */
+    std::string describe() const;
+};
+
+struct SubprocessOptions
+{
+    /** argv[0] is the program, resolved through PATH (execvp). */
+    std::vector<std::string> argv;
+    /** Seconds of *no pipe activity* before SIGKILL (0 = no watchdog). */
+    double silenceTimeout = 0.0;
+    /** Per-stream capture cap; only the tail is kept. */
+    std::size_t tailBytes = 8192;
+    /** Create a heartbeat pipe and append its write-end fd to argv as
+     * `heartbeatArgPrefix + fd`. */
+    bool heartbeatPipe = false;
+    std::string heartbeatArgPrefix = "--heartbeat-fd=";
+    /** Called (on the calling thread) per heartbeat byte drained. */
+    std::function<void(std::uint64_t total)> onHeartbeat;
+    /** Called once with the child's pid right after the fork. */
+    std::function<void(int pid)> onSpawn;
+};
+
+/**
+ * Run @p opts.argv to completion (blocking) and decode how it ended.
+ * @throws IoError when the process cannot even be spawned (pipe or
+ * fork failure); an exec failure inside the child is reported as a
+ * normal exit with code 127 instead.
+ */
+SubprocessResult runSubprocess(const SubprocessOptions& opts);
+
+/** "SIGSEGV" for SIGSEGV, ...; "SIG<n>" for signals without a name. */
+std::string signalName(int sig);
+
+} // namespace cosim
+
+#endif // COSIM_BASE_SUBPROCESS_HH

@@ -45,6 +45,11 @@ BenchOptions
 parseBenchArgs(int argc, char** argv, const std::string& bench_description)
 {
     BenchOptions opts;
+    // Keep the exact argv around: --isolate-cells re-executes this
+    // binary per cell (base/subprocess.hh) with a filtered copy.
+    opts.selfArgv.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i)
+        opts.selfArgv.push_back(argv[i]);
     bool quick = false;
     bool sample_period_cli = false;
     for (int i = 1; i < argc; ++i) {
@@ -117,7 +122,13 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
                 "  --progress-file=<f> machine-readable progress stream "
                 "(JSON lines)\n"
                 "  --metrics=<f>    dump telemetry histograms/counters "
-                "(OpenMetrics text)\n",
+                "(OpenMetrics text)\n"
+                "  --isolate-cells  run each sweep cell in its own "
+                "forked process (crash containment)\n"
+                "  --journal[=<f>]  write-ahead journal of cell state "
+                "transitions (default <out>/sweep.journal.jsonl)\n"
+                "  --resume=<f>     resume an interrupted sweep from "
+                "its journal, skipping verified cells\n",
                 bench_description.c_str());
             std::exit(0);
         } else if (startsWith(arg, "--scale=")) {
@@ -234,6 +245,29 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
             opts.metricsFile = arg.substr(10);
             fatal_if(opts.metricsFile.empty(),
                      "--metrics needs a file path");
+        } else if (arg == "--isolate-cells") {
+            opts.isolateCells = true;
+        } else if (arg == "--journal") {
+            opts.journalFile = "-"; // placeholder: default after --out
+        } else if (startsWith(arg, "--journal=")) {
+            opts.journalFile = arg.substr(10);
+            fatal_if(opts.journalFile.empty(),
+                     "--journal needs a file path");
+        } else if (startsWith(arg, "--resume=")) {
+            opts.resumeFrom = arg.substr(9);
+            fatal_if(opts.resumeFrom.empty(),
+                     "--resume needs a journal path");
+        } else if (startsWith(arg, "--run-cell=")) {
+            // Internal: --isolate-cells child re-entry.
+            opts.runCell = arg.substr(11);
+            fatal_if(opts.runCell.empty(), "--run-cell needs a label");
+        } else if (startsWith(arg, "--cell-result=")) {
+            opts.cellResultFile = arg.substr(14);
+        } else if (startsWith(arg, "--heartbeat-fd=")) {
+            opts.heartbeatFd = static_cast<int>(
+                std::strtol(arg.c_str() + 15, nullptr, 10));
+        } else if (startsWith(arg, "--self-destruct=")) {
+            opts.selfDestruct = arg.substr(16);
         } else {
             fatal("unknown option '%s' (try --help)", arg.c_str());
         }
@@ -259,6 +293,35 @@ parseBenchArgs(int argc, char** argv, const std::string& bench_description)
     fatal_if(!opts.planBase.empty() && !opts.planOutBase.empty(),
              "--plan and --plan-out are mutually exclusive (a loaded "
              "plan is not regenerated)");
+    // Crash-safe sweep plumbing. A child (--run-cell) never isolates,
+    // journals, or resumes itself -- the parent owns all of that.
+    if (!opts.runCell.empty()) {
+        opts.isolateCells = false;
+        opts.journalFile.clear();
+        opts.resumeFrom.clear();
+    }
+    if (opts.journalFile == "-")
+        opts.journalFile = opts.outDir + "/sweep.journal.jsonl";
+    if (!opts.resumeFrom.empty() && opts.journalFile.empty())
+        opts.journalFile = opts.resumeFrom;
+    if (opts.isolateCells && opts.journalFile.empty())
+        opts.journalFile = opts.outDir + "/sweep.journal.jsonl";
+    if (opts.isolateCells || !opts.journalFile.empty()) {
+        // Isolation and resume both need every cell to be
+        // reconstructable from disk (a self-contained child process /
+        // a skipped re-run). Replay and sampled cells qualify only
+        // when their streams and plans come from files; an in-memory
+        // capture phase cannot cross a process boundary.
+        fatal_if(opts.cells == CellMode::Replay &&
+                     opts.replayBase.empty(),
+                 "--isolate-cells/--journal with --cells=replay "
+                 "requires --replay=<base> (file-backed streams)");
+        fatal_if(opts.cells == CellMode::Sampled &&
+                     (opts.replayBase.empty() || opts.planBase.empty()),
+                 "--isolate-cells/--journal with --cells=sampled "
+                 "requires --replay=<base> and --plan=<base> "
+                 "(file-backed streams and plans)");
+    }
     if (!opts.faults.empty()) {
         // Arm here so every bench binary gets fault injection without
         // per-main plumbing; the plan inherits the run seed so the
@@ -319,6 +382,11 @@ printBanner(const std::string& title, const BenchOptions& opts)
     if (!opts.faults.empty())
         std::printf("faults=%s (seed %llu)\n", opts.faults.c_str(),
                     static_cast<unsigned long long>(opts.seed));
+    if (opts.isolateCells)
+        std::printf("isolate-cells=on\n");
+    if (!opts.journalFile.empty())
+        std::printf("journal=%s%s\n", opts.journalFile.c_str(),
+                    opts.resumeFrom.empty() ? "" : " (resuming)");
     std::printf("\n");
 }
 

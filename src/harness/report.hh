@@ -129,6 +129,33 @@ struct BenchOptions
     /** OpenMetrics dump path for the metrics registry (empty = off). */
     std::string metricsFile;
     /** @} */
+
+    /** @name Crash-safe sweeps (harness/sweep_journal.hh) @{ */
+    /** Run every sweep cell in its own forked child process. */
+    bool isolateCells = false;
+    /** Write-ahead journal path; --isolate-cells and --resume default
+     * it to "<outDir>/sweep.journal.jsonl" / the resumed journal. */
+    std::string journalFile;
+    /** Resume an interrupted sweep from this journal: cells whose done
+     * records' artifact digests verify are loaded, the rest re-run. */
+    std::string resumeFrom;
+    /** argv this process was started with, for --isolate-cells
+     * self-re-execution (captured by parseBenchArgs). */
+    std::vector<std::string> selfArgv;
+    /** @} */
+
+    /** @name Internal: --run-cell child re-entry (not user-facing) @{ */
+    /** Run exactly this cell, write cellResultFile, and exit. */
+    std::string runCell;
+    /** Where the child serializes its CellOutput. */
+    std::string cellResultFile;
+    /** Inherited heartbeat-pipe write fd (-1 = none). */
+    int heartbeatFd = -1;
+    /** Injected self-destruct: "segv" or "stall:<seconds>" (the parent
+     * translates cell.proc.* fault sites into this, so sweep-wide nth
+     * counting stays with the parent's injector). */
+    std::string selfDestruct;
+    /** @} */
 };
 
 /**
@@ -178,6 +205,9 @@ std::string fsbStreamPath(const std::string& base,
  *   --progress       live per-cell progress view on stderr
  *   --progress-file=<f> machine-readable progress stream (JSONL)
  *   --metrics=<f>    dump telemetry histograms/counters (OpenMetrics)
+ *   --isolate-cells  run each sweep cell in its own forked process
+ *   --journal[=<f>]  write-ahead journal of cell state transitions
+ *   --resume=<f>     resume an interrupted sweep from its journal
  *   --help           print usage (and exit 0)
  * Unknown flags are fatal. A --faults plan is parsed, seeded with the
  * run seed, and armed in the global FaultInjector before returning.

@@ -1,0 +1,316 @@
+#include "harness/sweep_journal.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "base/fault.hh"
+#include "base/host_clock.hh"
+#include "base/logging.hh"
+#include "obs/json.hh"
+
+namespace cosim {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** Fetch a field as u64, accepting both JSON numbers (counts) and
+ * decimal strings (64-bit digests). */
+bool
+fieldU64(const obs::json::Value& rec, const char* key,
+         std::uint64_t* out)
+{
+    const obs::json::Value* v = rec.find(key);
+    if (v == nullptr)
+        return false;
+    if (v->isNumber()) {
+        *out = static_cast<std::uint64_t>(v->num);
+        return true;
+    }
+    if (v->isString()) {
+        char* end = nullptr;
+        *out = std::strtoull(v->str.c_str(), &end, 10);
+        return end != nullptr && *end == '\0' && !v->str.empty();
+    }
+    return false;
+}
+
+bool
+fieldStr(const obs::json::Value& rec, const char* key, std::string* out)
+{
+    const obs::json::Value* v = rec.find(key);
+    if (v == nullptr || !v->isString())
+        return false;
+    *out = v->str;
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const void* data, std::size_t n)
+{
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = kFnvOffset;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+bool
+digestFileFnv(const std::string& path, std::uint64_t* digest,
+              std::uint64_t* bytes)
+{
+    std::ifstream in(path, std::ios_base::binary);
+    if (!in.is_open())
+        return false;
+    std::ostringstream body;
+    body << in.rdbuf();
+    if (in.bad())
+        return false;
+    const std::string text = body.str();
+    *digest = fnv1a64(text.data(), text.size());
+    *bytes = text.size();
+    return true;
+}
+
+SweepJournal::SweepJournal(const std::string& path,
+                           std::uint64_t next_seq)
+    : file_(path, /*truncate=*/next_seq == 0), seq_(next_seq)
+{}
+
+bool
+SweepJournal::append(const std::string& event, const std::string& fields)
+{
+    LockGuard lock(mutex_);
+    if (failed_)
+        return false;
+    std::string line = "{\"seq\":" + std::to_string(seq_) +
+                       ",\"t_us\":" + std::to_string(hostClockNowUs()) +
+                       ",\"event\":" + obs::json::quote(event);
+    if (!fields.empty())
+        line += "," + fields;
+    line += "}";
+    // The seeded failure and a real one take the same path: warn once,
+    // then run journal-less -- the journal must never kill the sweep
+    // it protects.
+    if (faultPending("journal.write.fail") || !file_.appendLine(line)) {
+        failed_ = true;
+        warn("journal: write to '%s' failed; journal disabled",
+             file_.path().c_str());
+        return false;
+    }
+    ++seq_;
+    return true;
+}
+
+void
+SweepJournal::sweepPlan(const std::string& figure,
+                        std::uint64_t config_digest, std::size_t cells)
+{
+    append("sweep_plan",
+           "\"schema\":" + obs::json::quote(kJournalSchema) +
+               ",\"figure\":" + obs::json::quote(figure) +
+               ",\"config_digest\":\"" + std::to_string(config_digest) +
+               "\",\"cells\":" + std::to_string(cells));
+}
+
+void
+SweepJournal::cellPlanned(const std::string& cell)
+{
+    append("planned", "\"cell\":" + obs::json::quote(cell));
+}
+
+void
+SweepJournal::cellRunning(const std::string& cell, unsigned attempt,
+                          int pid)
+{
+    append("running", "\"cell\":" + obs::json::quote(cell) +
+                          ",\"attempt\":" + std::to_string(attempt) +
+                          ",\"pid\":" + std::to_string(pid));
+}
+
+void
+SweepJournal::cellDone(const std::string& cell, unsigned attempts,
+                       const std::string& artifact, std::uint64_t bytes,
+                       std::uint64_t digest)
+{
+    append("done", "\"cell\":" + obs::json::quote(cell) +
+                       ",\"attempts\":" + std::to_string(attempts) +
+                       ",\"artifact\":" + obs::json::quote(artifact) +
+                       ",\"bytes\":" + std::to_string(bytes) +
+                       ",\"digest\":\"" + std::to_string(digest) + "\"");
+}
+
+void
+SweepJournal::cellFailed(const std::string& cell, unsigned attempts,
+                         const std::string& error,
+                         const JournalExit& how)
+{
+    append("failed", "\"cell\":" + obs::json::quote(cell) +
+                         ",\"attempts\":" + std::to_string(attempts) +
+                         ",\"error\":" + obs::json::quote(error) +
+                         ",\"exit_kind\":" + obs::json::quote(how.kind) +
+                         ",\"exit_code\":" + std::to_string(how.code));
+}
+
+void
+SweepJournal::resumed(std::size_t skipped, std::size_t rerun)
+{
+    append("resume", "\"skipped\":" + std::to_string(skipped) +
+                         ",\"rerun\":" + std::to_string(rerun));
+}
+
+void
+SweepJournal::resumeSkip(const std::string& cell)
+{
+    append("resume_skip", "\"cell\":" + obs::json::quote(cell));
+}
+
+void
+SweepJournal::sweepDone(std::size_t ok, std::size_t failed)
+{
+    append("sweep_done", "\"ok\":" + std::to_string(ok) +
+                             ",\"failed\":" + std::to_string(failed));
+}
+
+bool
+SweepJournal::healthy() const
+{
+    LockGuard lock(mutex_);
+    return !failed_;
+}
+
+const JournalCell*
+JournalState::find(const std::string& cell) const
+{
+    for (const auto& entry : cells) {
+        if (entry.first == cell)
+            return &entry.second;
+    }
+    return nullptr;
+}
+
+bool
+JournalState::load(const std::string& path, JournalState* out,
+                   std::string* error)
+{
+    std::ifstream in(path, std::ios_base::binary);
+    if (!in.is_open()) {
+        if (error != nullptr)
+            *error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    const std::string text = body.str();
+
+    auto fail = [&](std::size_t lineno, const std::string& why) {
+        if (error != nullptr) {
+            *error = path + ":" + std::to_string(lineno) + ": " + why;
+        }
+        return false;
+    };
+    auto cellOf = [out](const std::string& name) -> JournalCell& {
+        for (auto& entry : out->cells) {
+            if (entry.first == name)
+                return entry.second;
+        }
+        out->cells.emplace_back(name, JournalCell{});
+        return out->cells.back().second;
+    };
+
+    std::size_t pos = 0;
+    std::size_t lineno = 0;
+    while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            // Torn final record: the append that a crash interrupted.
+            // WAL semantics say it was never written.
+            break;
+        }
+        const std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        out->validBytes = pos;
+        ++lineno;
+        if (line.empty())
+            return fail(lineno, "empty record");
+
+        obs::json::Value rec;
+        std::string jerr;
+        if (!obs::json::parse(line, rec, &jerr) || !rec.isObject())
+            return fail(lineno, "bad JSON: " + jerr);
+        std::uint64_t seq = 0;
+        if (!fieldU64(rec, "seq", &seq) || seq != out->nextSeq)
+            return fail(lineno, "seq not dense");
+        std::string event;
+        if (!fieldStr(rec, "event", &event))
+            return fail(lineno, "missing event");
+
+        if (event == "sweep_plan") {
+            std::string schema;
+            if (!fieldStr(rec, "schema", &schema) ||
+                schema != kJournalSchema) {
+                return fail(lineno, "unsupported schema");
+            }
+            if (out->sawPlan)
+                return fail(lineno, "duplicate sweep_plan");
+            fieldStr(rec, "figure", &out->figure);
+            if (!fieldU64(rec, "config_digest", &out->configDigest))
+                return fail(lineno, "missing config_digest");
+            out->sawPlan = true;
+        } else if (event == "planned" || event == "running" ||
+                   event == "done" || event == "failed" ||
+                   event == "resume_skip") {
+            std::string name;
+            if (!fieldStr(rec, "cell", &name))
+                return fail(lineno, "missing cell");
+            JournalCell& cell = cellOf(name);
+            if (event == "planned") {
+                cell.state = "planned";
+            } else if (event == "running") {
+                cell.state = "running";
+                std::uint64_t v = 0;
+                fieldU64(rec, "attempt", &v);
+                cell.attempts = static_cast<unsigned>(v);
+                v = 0;
+                fieldU64(rec, "pid", &v);
+                cell.pid = static_cast<int>(v);
+            } else if (event == "done") {
+                cell.state = "done";
+                std::uint64_t v = 0;
+                fieldU64(rec, "attempts", &v);
+                cell.attempts = static_cast<unsigned>(v);
+                if (!fieldStr(rec, "artifact", &cell.artifact) ||
+                    !fieldU64(rec, "bytes", &cell.artifactBytes) ||
+                    !fieldU64(rec, "digest", &cell.artifactDigest)) {
+                    return fail(lineno, "incomplete done record");
+                }
+            } else if (event == "failed") {
+                cell.state = "failed";
+                std::uint64_t v = 0;
+                fieldU64(rec, "attempts", &v);
+                cell.attempts = static_cast<unsigned>(v);
+                fieldStr(rec, "error", &cell.error);
+            } else {
+                cell.state = "skipped";
+            }
+        } else if (event == "resume" || event == "sweep_done") {
+            // Counters only; nothing to replay.
+        } else {
+            return fail(lineno, "unknown event '" + event + "'");
+        }
+        ++out->nextSeq;
+    }
+    if (!out->sawPlan) {
+        if (error != nullptr)
+            *error = path + ": no sweep_plan record";
+        return false;
+    }
+    return true;
+}
+
+} // namespace cosim

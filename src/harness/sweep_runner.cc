@@ -1,14 +1,22 @@
 #include "harness/sweep_runner.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
+
+#include <unistd.h>
 
 #include "base/atomic_file.hh"
 #include "base/fault.hh"
@@ -16,8 +24,10 @@
 #include "base/host_clock.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
+#include "base/subprocess.hh"
 #include "base/thread_pool.hh"
 #include "base/units.hh"
+#include "harness/sweep_journal.hh"
 #include "obs/host_profiler.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
@@ -223,6 +233,548 @@ warnStreamWorkload(const FsbStreamMeta& meta, const std::string& source,
     }
 }
 
+/** Last non-empty line of @p text (child stderr -> cell error). */
+std::string
+lastLine(const std::string& text)
+{
+    const std::size_t end = text.find_last_not_of("\r\n");
+    if (end == std::string::npos)
+        return "";
+    const std::size_t nl = text.rfind('\n', end);
+    const std::size_t start = nl == std::string::npos ? 0 : nl + 1;
+    return text.substr(start, end - start + 1);
+}
+
+/** Slurp @p path. @return false when it cannot be opened. */
+bool
+readWholeFile(const std::string& path, std::string* out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+/**
+ * An isolated cell's child process failed: non-zero exit, crash signal,
+ * or shot by the silence watchdog. Carries the decoded SubprocessResult
+ * so the guard can journal *how* the cell ended and write a postmortem
+ * with the child's decoded signal and stderr tail.
+ */
+class CellProcessError : public std::runtime_error
+{
+  public:
+    explicit CellProcessError(const SubprocessResult& r)
+        : std::runtime_error(describe(r)), result(r)
+    {}
+
+    SubprocessResult result;
+
+  private:
+    static std::string
+    describe(const SubprocessResult& r)
+    {
+        std::string msg = "cell process " + r.describe();
+        const std::string tail = lastLine(r.stderrTail);
+        if (!tail.empty())
+            msg += ": " + tail;
+        return msg;
+    }
+};
+
+/**
+ * Result-artifact path for @p label under "<outDir>/cells/". Slashes
+ * in per-config labels ("PLSA/64MB") flatten to underscores so every
+ * cell is one file in one flat directory.
+ */
+std::string
+cellArtifactPath(const BenchOptions& opts, const std::string& label)
+{
+    std::string file = label;
+    for (char& c : file) {
+        if (c == '/')
+            c = '_';
+    }
+    return opts.outDir + "/cells/" + file + ".cell.json";
+}
+
+std::string
+doubleArray(const std::vector<double>& values)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += ",";
+        out += obs::json::number(values[i]);
+    }
+    return out + "]";
+}
+
+/**
+ * Serialize everything a finished cell produced (cosim-cell-result/1):
+ * the manifest entry, figure series/points, stream bookkeeping, CB
+ * samples, and the cell's frozen "cell/<label>/..." stats groups out
+ * of the global registry. This is both the isolation wire format
+ * (--run-cell child -> parent) and the journal's durable artifact
+ * (--resume re-loads it instead of re-running the cell), so it must
+ * round-trip exactly: integers are written as decimals
+ * (std::to_string, exact), doubles through json::number (shortest
+ * round-trip-safe), and the one value that cannot survive a JSON
+ * double at all -- the 64-bit stream digest -- rides as a decimal
+ * string.
+ */
+std::string
+renderCellResult(const CellOutput& cell, const std::string& stats_prefix)
+{
+    using obs::json::number;
+    using obs::json::quote;
+
+    std::string out = "{\n";
+    out += "\"schema\":\"cosim-cell-result/1\",\n";
+
+    const obs::ManifestWorkload& w = cell.mw;
+    out += "\"workload\":{\"name\":" + quote(w.name) +
+           ",\"insts\":" + std::to_string(w.totalInsts) +
+           ",\"host_seconds\":" + number(w.hostSeconds) +
+           ",\"sim_mips\":" + number(w.simMips) +
+           ",\"verified\":" + (w.verified ? "true" : "false") +
+           ",\"status\":" + quote(w.status) +
+           ",\"attempts\":" + std::to_string(w.attempts) +
+           ",\"error\":" + quote(w.error) +
+           ",\"replayed_from\":" + quote(w.replayedFrom) +
+           ",\"mpki_per_config\":" + doubleArray(w.mpkiPerConfig) +
+           ",\"series_time_us\":" + doubleArray(w.seriesTimeUs) +
+           ",\"series_mpki\":" + doubleArray(w.seriesMpki);
+    if (w.sampling.active) {
+        const obs::ManifestSampling& s = w.sampling;
+        out += ",\"sampling\":{\"intervals\":" +
+               std::to_string(s.intervals) +
+               ",\"total_windows\":" + std::to_string(s.totalWindows) +
+               ",\"warmup_quanta\":" + std::to_string(s.warmupQuanta) +
+               ",\"coverage\":" + number(s.coverage) +
+               ",\"has_error\":" + (s.hasError ? "true" : "false") +
+               ",\"err\":" +
+               doubleArray({s.errCpi, s.errMpki, s.errApki, s.errDram}) +
+               ",\"est\":" +
+               doubleArray({s.estCpi, s.estMpki, s.estApki}) +
+               ",\"full\":" +
+               doubleArray({s.fullCpi, s.fullMpki, s.fullApki}) + "}";
+    }
+    out += "},\n";
+
+    out += std::string("\"failed\":") +
+           (cell.failed ? "true" : "false") +
+           ",\"guest_executions\":" +
+           std::to_string(cell.guestExecutions) + ",\n";
+    out += "\"series\":" + doubleArray(cell.series) + ",\n";
+
+    out += "\"points\":[";
+    for (std::size_t i = 0; i < cell.points.size(); ++i) {
+        const SweepPoint& p = cell.points[i];
+        if (i)
+            out += ",";
+        out += "\n {\"workload\":" + quote(p.workload) +
+               ",\"cores\":" + std::to_string(p.nCores) +
+               ",\"llc_size\":" + std::to_string(p.llcSize) +
+               ",\"line_size\":" + std::to_string(p.lineSize) +
+               ",\"accesses\":" + std::to_string(p.llcAccesses) +
+               ",\"misses\":" + std::to_string(p.llcMisses) +
+               ",\"insts\":" + std::to_string(p.insts) + "}";
+    }
+    out += "],\n";
+
+    if (cell.hasDigest) {
+        out += "\"digest\":{\"txns\":" +
+               std::to_string(cell.streamTxns) + ",\"value\":" +
+               quote(std::to_string(cell.streamDigest)) + "},\n";
+    }
+    out += "\"capture\":{\"txns\":" + std::to_string(cell.captureTxns) +
+           ",\"bytes\":" + std::to_string(cell.captureBytes) +
+           ",\"seconds\":" + number(cell.captureSeconds) + "},\n";
+    out += "\"replay\":{\"txns\":" + std::to_string(cell.replayTxns) +
+           ",\"bytes\":" + std::to_string(cell.replayBytes) +
+           ",\"seconds\":" + number(cell.replaySeconds) + "},\n";
+
+    out += "\"cb_samples\":[";
+    for (std::size_t i = 0; i < cell.cbSamples.size(); ++i) {
+        const Sample& s = cell.cbSamples[i];
+        if (i)
+            out += ",";
+        out += "[" + number(s.timeUs) + "," + std::to_string(s.insts) +
+               "," + std::to_string(s.cycles) + "," +
+               std::to_string(s.accesses) + "," +
+               std::to_string(s.misses) + "]";
+    }
+    out += "],\n";
+
+    // The cell's frozen stats namespaces, so the parent's (or a
+    // resumed run's) stats dump matches an in-process run's exactly.
+    out += "\"stats\":{";
+    obs::StatsRegistry& registry = obs::StatsRegistry::global();
+    bool first_group = true;
+    for (const std::string& gname : registry.groupNames()) {
+        if (gname.rfind(stats_prefix, 0) != 0)
+            continue;
+        const stats::Group* group = registry.find(gname);
+        if (group == nullptr)
+            continue;
+        if (!first_group)
+            out += ",";
+        first_group = false;
+        out += "\n " + quote(gname) + ":{";
+        bool first_stat = true;
+        for (const auto& stat : group->collect()) {
+            if (!first_stat)
+                out += ",";
+            first_stat = false;
+            out += quote(stat.first) + ":" + number(stat.second);
+        }
+        out += "}";
+    }
+    out += first_group ? "}\n" : "\n}\n";
+    out += "}\n";
+    return out;
+}
+
+/** Typed field access with zero-value defaults (parseCellResult). @{ */
+double
+numField(const obs::json::Value& obj, const char* key)
+{
+    const obs::json::Value* v = obj.find(key);
+    return v != nullptr && v->isNumber() ? v->num : 0.0;
+}
+
+std::uint64_t
+u64Field(const obs::json::Value& obj, const char* key)
+{
+    const obs::json::Value* v = obj.find(key);
+    if (v == nullptr)
+        return 0;
+    if (v->isNumber())
+        return static_cast<std::uint64_t>(v->num);
+    if (v->isString())
+        return std::strtoull(v->str.c_str(), nullptr, 10);
+    return 0;
+}
+
+std::string
+strField(const obs::json::Value& obj, const char* key)
+{
+    const obs::json::Value* v = obj.find(key);
+    return v != nullptr && v->isString() ? v->str : std::string();
+}
+
+bool
+boolField(const obs::json::Value& obj, const char* key)
+{
+    const obs::json::Value* v = obj.find(key);
+    return v != nullptr && v->isBool() && v->boolean;
+}
+
+std::vector<double>
+arrayField(const obs::json::Value& obj, const char* key)
+{
+    std::vector<double> out;
+    const obs::json::Value* v = obj.find(key);
+    if (v == nullptr || !v->isArray())
+        return out;
+    out.reserve(v->arr.size());
+    for (const obs::json::Value& e : v->arr)
+        out.push_back(e.num);
+    return out;
+}
+/** @} */
+
+/**
+ * Parse a cosim-cell-result/1 document back into a CellOutput and
+ * re-register its embedded stats namespaces as frozen groups -- the
+ * same shape snapshotCellStats leaves behind for an in-process cell.
+ */
+bool
+parseCellResult(const std::string& text, CellOutput* out,
+                std::string* error)
+{
+    obs::json::Value root;
+    if (!obs::json::parse(text, root, error))
+        return false;
+    if (!root.isObject()) {
+        *error = "not a JSON object";
+        return false;
+    }
+    if (strField(root, "schema") != "cosim-cell-result/1") {
+        *error = "unexpected schema '" + strField(root, "schema") + "'";
+        return false;
+    }
+    const obs::json::Value* w = root.find("workload");
+    if (w == nullptr || !w->isObject()) {
+        *error = "missing workload object";
+        return false;
+    }
+
+    CellOutput cell;
+    cell.mw.name = strField(*w, "name");
+    cell.mw.totalInsts = u64Field(*w, "insts");
+    cell.mw.hostSeconds = numField(*w, "host_seconds");
+    cell.mw.simMips = numField(*w, "sim_mips");
+    cell.mw.verified = boolField(*w, "verified");
+    cell.mw.status = strField(*w, "status");
+    cell.mw.attempts = u64Field(*w, "attempts");
+    cell.mw.error = strField(*w, "error");
+    cell.mw.replayedFrom = strField(*w, "replayed_from");
+    cell.mw.mpkiPerConfig = arrayField(*w, "mpki_per_config");
+    cell.mw.seriesTimeUs = arrayField(*w, "series_time_us");
+    cell.mw.seriesMpki = arrayField(*w, "series_mpki");
+    if (const obs::json::Value* s = w->find("sampling")) {
+        obs::ManifestSampling& ms = cell.mw.sampling;
+        ms.active = true;
+        ms.intervals = u64Field(*s, "intervals");
+        ms.totalWindows = u64Field(*s, "total_windows");
+        ms.warmupQuanta = u64Field(*s, "warmup_quanta");
+        ms.coverage = numField(*s, "coverage");
+        ms.hasError = boolField(*s, "has_error");
+        const std::vector<double> err = arrayField(*s, "err");
+        const std::vector<double> est = arrayField(*s, "est");
+        const std::vector<double> full = arrayField(*s, "full");
+        if (err.size() == 4) {
+            ms.errCpi = err[0];
+            ms.errMpki = err[1];
+            ms.errApki = err[2];
+            ms.errDram = err[3];
+        }
+        if (est.size() == 3) {
+            ms.estCpi = est[0];
+            ms.estMpki = est[1];
+            ms.estApki = est[2];
+        }
+        if (full.size() == 3) {
+            ms.fullCpi = full[0];
+            ms.fullMpki = full[1];
+            ms.fullApki = full[2];
+        }
+    }
+
+    cell.failed = boolField(root, "failed");
+    cell.guestExecutions = u64Field(root, "guest_executions");
+    cell.series = arrayField(root, "series");
+    if (const obs::json::Value* pts = root.find("points")) {
+        for (const obs::json::Value& pv : pts->arr) {
+            SweepPoint p;
+            p.workload = strField(pv, "workload");
+            p.nCores = static_cast<unsigned>(u64Field(pv, "cores"));
+            p.llcSize = u64Field(pv, "llc_size");
+            p.lineSize =
+                static_cast<std::uint32_t>(u64Field(pv, "line_size"));
+            p.llcAccesses = u64Field(pv, "accesses");
+            p.llcMisses = u64Field(pv, "misses");
+            p.insts = u64Field(pv, "insts");
+            cell.points.push_back(std::move(p));
+        }
+    }
+    if (const obs::json::Value* d = root.find("digest")) {
+        cell.hasDigest = true;
+        cell.streamTxns = u64Field(*d, "txns");
+        cell.streamDigest = u64Field(*d, "value");
+    }
+    if (const obs::json::Value* c = root.find("capture")) {
+        cell.captureTxns = u64Field(*c, "txns");
+        cell.captureBytes = u64Field(*c, "bytes");
+        cell.captureSeconds = numField(*c, "seconds");
+    }
+    if (const obs::json::Value* r = root.find("replay")) {
+        cell.replayTxns = u64Field(*r, "txns");
+        cell.replayBytes = u64Field(*r, "bytes");
+        cell.replaySeconds = numField(*r, "seconds");
+    }
+    if (const obs::json::Value* cb = root.find("cb_samples")) {
+        for (const obs::json::Value& sv : cb->arr) {
+            if (!sv.isArray() || sv.arr.size() != 5)
+                continue;
+            Sample s;
+            s.timeUs = sv.arr[0].num;
+            s.insts = static_cast<InstCount>(sv.arr[1].num);
+            s.cycles = static_cast<Cycles>(sv.arr[2].num);
+            s.accesses = static_cast<std::uint64_t>(sv.arr[3].num);
+            s.misses = static_cast<std::uint64_t>(sv.arr[4].num);
+            cell.cbSamples.push_back(s);
+        }
+    }
+
+    if (const obs::json::Value* groups = root.find("stats")) {
+        for (const auto& g : groups->obj) {
+            stats::Group group(g.first);
+            group.reserve(0, g.second.obj.size());
+            for (const auto& stat : g.second.obj) {
+                const double value = stat.second.num;
+                group.add(stat.first, [value] { return value; });
+            }
+            obs::StatsRegistry::global().add(std::move(group));
+        }
+    }
+
+    *out = std::move(cell);
+    return true;
+}
+
+/**
+ * Fingerprint of everything that determines what a sweep's cells
+ * compute, so --resume refuses to mix two different sweeps' journals.
+ * Host-side knobs (--jobs, timeouts, telemetry) are deliberately
+ * excluded: they change how cells are scheduled, not what they
+ * produce, and a resume routinely runs with different ones.
+ */
+std::uint64_t
+sweepConfigDigest(const std::string& figure_id,
+                  const PlatformParams& platform, const BenchOptions& opts,
+                  const std::vector<std::string>& ticks)
+{
+    std::string key = figure_id;
+    key += '|';
+    key += platform.name;
+    key += '|';
+    key += std::to_string(platform.nCores);
+    key += '|';
+    key += obs::json::number(opts.scale);
+    key += '|';
+    key += std::to_string(opts.seed);
+    key += '|';
+    key += toString(opts.cells);
+    key += '|';
+    key += opts.replayBase;
+    key += '|';
+    key += opts.planBase;
+    for (const std::string& w : opts.workloads) {
+        key += '|';
+        key += w;
+    }
+    for (const std::string& t : ticks) {
+        key += '|';
+        key += t;
+    }
+    return fnv1a64(key.data(), key.size());
+}
+
+/**
+ * Build the child's argv from the sweep's own: keep everything that
+ * shapes what the cell computes, strip everything that must stay a
+ * parent concern -- recursion guards (--isolate-cells / --journal /
+ * --resume), the fault plan (nth counters are per process; the parent
+ * translates cell.proc.* into an explicit --self-destruct order),
+ * scheduling, and telemetry sinks -- then append the cell order.
+ */
+std::vector<std::string>
+childArgv(const BenchOptions& opts, const std::string& label,
+          const std::string& result_path)
+{
+    static const char* const kStripPrefixes[] = {
+        "--journal=",       "--resume=",      "--faults=",
+        "--jobs=",          "--retry-cells=", "--cell-timeout=",
+        "--progress-file=", "--metrics=",     "--trace=",
+        "--stats=",         "--manifest=",    "--plan-out=",
+    };
+    std::vector<std::string> argv;
+    argv.reserve(opts.selfArgv.size() + 2);
+    for (const std::string& arg : opts.selfArgv) {
+        if (arg == "--isolate-cells" || arg == "--journal" ||
+            arg == "--keep-going" || arg == "--progress") {
+            continue;
+        }
+        bool strip = false;
+        for (const char* prefix : kStripPrefixes) {
+            if (arg.rfind(prefix, 0) == 0) {
+                strip = true;
+                break;
+            }
+        }
+        if (!strip)
+            argv.push_back(arg);
+    }
+    argv.push_back("--run-cell=" + label);
+    argv.push_back("--cell-result=" + result_path);
+    return argv;
+}
+
+/** Crash-safety context threaded through the guarded cells. */
+struct SweepLedger
+{
+    /** Write-ahead journal (null = journaling off). */
+    SweepJournal* journal = nullptr;
+    /** Verified results loaded from a resumed journal, by cell label
+     * (null = not resuming). */
+    const std::map<std::string, CellOutput>* resumed = nullptr;
+    /** Count of cells short-circuited from @ref resumed. */
+    std::atomic<std::uint64_t>* skipped = nullptr;
+};
+
+/**
+ * One isolated attempt: re-execute this binary with --run-cell=<label>
+ * and decode how the child ended. The heartbeat pipe keeps the live
+ * progress view ticking, and --cell-timeout becomes a real watchdog --
+ * a child silent past the budget is SIGKILLed, not merely marked
+ * failed after the fact. Success means the child serialized its
+ * CellOutput to the result artifact; anything else throws
+ * CellProcessError into the retry loop.
+ */
+CellOutput
+runIsolatedCell(const std::string& label, const BenchOptions& opts,
+                obs::SweepProgress* progress, std::size_t cell_idx,
+                obs::HeartbeatSlot* slot, SweepJournal* journal,
+                unsigned attempt_no)
+{
+    const std::string artifact = cellArtifactPath(opts, label);
+
+    SubprocessOptions sp;
+    sp.argv = childArgv(opts, label, artifact);
+    // cell.proc.* fire in the *parent's* injector (the child never
+    // sees --faults, so sweep-wide nth counting stays in one process)
+    // and turn into an explicit order the child obeys at startup.
+    if (faultPending("cell.proc.crash")) {
+        sp.argv.push_back("--self-destruct=segv");
+    } else if (faultPending("cell.proc.stall")) {
+        const double secs =
+            opts.cellTimeout > 0.0 ? opts.cellTimeout * 1.5 : 0.25;
+        sp.argv.push_back(strFormat("--self-destruct=stall:%.3f", secs));
+    }
+    sp.silenceTimeout = opts.cellTimeout;
+    sp.heartbeatPipe = true;
+    if (slot != nullptr) {
+        sp.onHeartbeat = [slot](std::uint64_t) { slot->pulse(); };
+    }
+    sp.onSpawn = [&](int pid) {
+        if (journal != nullptr)
+            journal->cellRunning(label, attempt_no, pid);
+        if (progress != nullptr)
+            progress->cellSpawned(cell_idx, pid);
+    };
+
+    SubprocessResult r = runSubprocess(sp);
+    if (obs::metrics::enabled()) {
+        static const obs::metrics::Histogram rss_kb =
+            obs::metrics::histogram("sweep.cell_rss_kb",
+                                    "isolated cell child peak RSS (KB)");
+        rss_kb.record(r.maxRssKb);
+    }
+    if (!r.ok()) {
+        if (progress != nullptr &&
+            r.end != SubprocessResult::End::Exited) {
+            progress->cellKilled(cell_idx, r.pid, r.describe());
+        }
+        throw CellProcessError(r);
+    }
+
+    std::string text;
+    if (!readWholeFile(artifact, &text))
+        throw std::runtime_error("cell result missing: " + artifact);
+    CellOutput cell;
+    std::string err;
+    if (!parseCellResult(text, &cell, &err)) {
+        throw std::runtime_error("cell result " + artifact + ": " + err);
+    }
+    return cell;
+}
+
 /**
  * Run one sweep cell behind the failure-isolation boundary:
  *
@@ -250,19 +802,57 @@ warnStreamWorkload(const FsbStreamMeta& meta, const std::string& source,
  *
  * Success after a retry reports status "retried"; exhausted attempts
  * report a CellOutput with failed=true and the last error recorded.
+ *
+ * Crash safety (harness/sweep_journal.hh) layers on top:
+ *
+ *  - with --isolate-cells, each attempt runs in a forked child via
+ *    runIsolatedCell, so a crash or wedge takes down the child only;
+ *    a process death surfaces here as CellProcessError and rides the
+ *    same retry loop, with the decoded signal and the child's stderr
+ *    tail landing in the postmortem
+ *  - with a ledger journal, every state transition is journaled
+ *    (planned / running / done / failed) and a successful cell's
+ *    result is persisted as a digest-fingerprinted artifact that
+ *    --resume verifies and loads instead of re-running the cell
  */
 CellOutput
 runGuardedCell(const std::string& label, const std::string& stats_prefix,
-               const BenchOptions& opts, obs::SweepProgress* progress,
-               std::size_t cell_idx,
+               const BenchOptions& opts, const SweepLedger& ledger,
+               obs::SweepProgress* progress, std::size_t cell_idx,
                const std::function<CellOutput(unsigned,
                                               obs::HeartbeatSlot*)>& attempt)
 {
+    // --resume: a journaled result that verified at load time replaces
+    // the whole cell (its stats namespaces were re-registered then).
+    if (ledger.resumed != nullptr) {
+        auto it = ledger.resumed->find(label);
+        if (it != ledger.resumed->end()) {
+            if (ledger.journal != nullptr)
+                ledger.journal->resumeSkip(label);
+            if (ledger.skipped != nullptr)
+                ledger.skipped->fetch_add(1, std::memory_order_relaxed);
+            if (progress != nullptr)
+                progress->cellResumeSkipped(cell_idx);
+            if (obs::metrics::enabled()) {
+                static const obs::metrics::Counter resume_skipped =
+                    obs::metrics::counter(
+                        "sweep.resume_skipped",
+                        "cells loaded from a resumed journal instead "
+                        "of re-run");
+                resume_skipped.inc();
+            }
+            return it->second;
+        }
+    }
+    if (ledger.journal != nullptr)
+        ledger.journal->cellPlanned(label);
+
     obs::HeartbeatSlot* slot =
         progress != nullptr ? progress->slot(cell_idx) : nullptr;
     const unsigned max_attempts = opts.retryCells + 1;
     std::string last_error;
     double last_secs = 0.0;
+    JournalExit last_exit;
     for (unsigned a = 1; a <= max_attempts; ++a) {
         obs::setPostmortemContext(label, a);
         FlightRecorder::setThreadLabel("cell/" + label);
@@ -272,6 +862,10 @@ runGuardedCell(const std::string& label, const std::string& stats_prefix,
             progress->cellStarted(cell_idx, a);
         const auto t0 = std::chrono::steady_clock::now();
         try {
+            // Isolated attempts journal their own running record from
+            // onSpawn, with the real pid.
+            if (!opts.isolateCells && ledger.journal != nullptr)
+                ledger.journal->cellRunning(label, a, 0);
             COSIM_FAULT_POINT("cell.throw");
             if (faultPending("cell.hang")) {
                 const double nap = opts.cellTimeout > 0.0
@@ -280,11 +874,17 @@ runGuardedCell(const std::string& label, const std::string& stats_prefix,
                 std::this_thread::sleep_for(
                     std::chrono::duration<double>(nap));
             }
-            CellOutput cell = attempt(a, slot);
+            CellOutput cell = opts.isolateCells
+                ? runIsolatedCell(label, opts, progress, cell_idx, slot,
+                                  ledger.journal, a)
+                : attempt(a, slot);
             const double secs = std::chrono::duration<double>(
                                     std::chrono::steady_clock::now() - t0)
                                     .count();
-            if (opts.cellTimeout > 0.0) {
+            // Isolated cells already had the real watchdog: silence
+            // past the budget means the child was SIGKILLed and never
+            // reaches here.
+            if (opts.cellTimeout > 0.0 && !opts.isolateCells) {
                 if (slot != nullptr && slot->watch().beats() > 0) {
                     const double gap =
                         static_cast<double>(slot->watch().maxGapUs()) /
@@ -302,6 +902,31 @@ runGuardedCell(const std::string& label, const std::string& stats_prefix,
             }
             cell.mw.status = a > 1 ? "retried" : "ok";
             cell.mw.attempts = a;
+            if (ledger.journal != nullptr) {
+                // Durable result: (re-)write the artifact with the
+                // final status/attempts and journal its fingerprint.
+                // --resume trusts the file only while the digest still
+                // matches; an unwritable artifact just leaves the cell
+                // un-done, so a resume re-runs it.
+                const std::string artifact =
+                    cellArtifactPath(opts, label);
+                try {
+                    writeFileAtomic(
+                        artifact, renderCellResult(cell, stats_prefix));
+                } catch (const IoError& e) {
+                    warn("cell artifact %s: %s", artifact.c_str(),
+                         e.what());
+                }
+                std::uint64_t digest = 0;
+                std::uint64_t bytes = 0;
+                if (digestFileFnv(artifact, &digest, &bytes)) {
+                    ledger.journal->cellDone(label, a, artifact, bytes,
+                                             digest);
+                } else {
+                    warn("cell artifact %s: unreadable; the cell will "
+                         "re-run on resume", artifact.c_str());
+                }
+            }
             FlightRecorder::note(FrKind::CellDone, "sweep.cell", a,
                                  cell_idx);
             if (progress != nullptr)
@@ -332,6 +957,24 @@ runGuardedCell(const std::string& label, const std::string& stats_prefix,
             last_error = e.what();
             warn("sweep cell %s failed (attempt %u/%u): %s",
                  label.c_str(), a, max_attempts, e.what());
+            const auto* proc = dynamic_cast<const CellProcessError*>(&e);
+            last_exit = JournalExit{};
+            if (proc != nullptr) {
+                switch (proc->result.end) {
+                case SubprocessResult::End::Exited:
+                    last_exit.kind = "exit";
+                    last_exit.code = proc->result.exitCode;
+                    break;
+                case SubprocessResult::End::Signaled:
+                    last_exit.kind = "signal";
+                    last_exit.code = proc->result.termSignal;
+                    break;
+                case SubprocessResult::End::TimedOut:
+                    last_exit.kind = "timeout";
+                    last_exit.code = proc->result.termSignal;
+                    break;
+                }
+            }
             if (progress != nullptr) {
                 const auto* injected =
                     dynamic_cast<const FaultInjected*>(&e);
@@ -343,12 +986,23 @@ runGuardedCell(const std::string& label, const std::string& stats_prefix,
                     progress->cellRetried(cell_idx, a + 1, last_error);
             }
             obs::PostmortemInfo pm;
-            pm.reason = "cell_failed";
+            pm.reason = proc != nullptr &&
+                        proc->result.end != SubprocessResult::End::Exited
+                ? "cell_killed"
+                : "cell_failed";
             pm.cell = label;
             pm.attempt = a;
             pm.error = last_error;
+            if (proc != nullptr) {
+                pm.signalName = proc->result.signalName;
+                pm.stderrTail = proc->result.stderrTail;
+            }
             obs::writePostmortem(opts.outDir + "/postmortem.json", pm);
         }
+    }
+    if (ledger.journal != nullptr) {
+        ledger.journal->cellFailed(label, max_attempts, last_error,
+                                   last_exit);
     }
     if (progress != nullptr)
         progress->cellFinished(cell_idx, false, last_secs, last_error);
@@ -1065,6 +1719,120 @@ mergeWorkloadCells(const std::string& name, const CellOutput* base,
 }
 
 /**
+ * --run-cell=<label> child re-entry: run exactly that cell's body,
+ * serialize the result (cosim-cell-result/1) to --cell-result, and
+ * exit without returning. Labels mirror the parent's: "<workload>"
+ * (combined), "<workload>/<tick>" (exec / file-backed replay), and
+ * "<workload>/sampled". The parent owns every sweep-level concern --
+ * journal, retries, watchdog, run artifacts -- so a failure here just
+ * prints one recognizable stderr line and exits non-zero; the parent
+ * turns the tail into the cell's error.
+ */
+[[noreturn]] void
+runCellChild(const PlatformParams& platform,
+             const std::vector<DragonheadParams>& emulators,
+             const std::vector<std::string>& ticks,
+             const BenchOptions& opts)
+{
+    const std::string& label = opts.runCell;
+    try {
+        // Parent-injected self-destruct (see runIsolatedCell): crash
+        // before doing any work, or go silent long enough for the
+        // parent's watchdog to shoot us.
+        if (opts.selfDestruct == "segv") {
+            std::raise(SIGSEGV);
+        } else if (opts.selfDestruct.rfind("stall:", 0) == 0) {
+            const double secs = std::atof(opts.selfDestruct.c_str() + 6);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(secs));
+        }
+
+        // Liveness flows to the parent through the inherited pipe fd;
+        // without one the slot is a harmless local sink.
+        obs::HeartbeatSlot beat;
+        if (opts.heartbeatFd >= 0)
+            beat.bindPipe(opts.heartbeatFd);
+
+        CellOutput cell;
+        const std::size_t slash = label.find('/');
+        if (slash == std::string::npos) {
+            // Combined cell: the label is the workload name.
+            CoSimParams params;
+            params.platform = platform;
+            params.platform.dex.hostThreads = opts.dexThreads;
+            params.platform.dex.degradeSerial = opts.degradeSerial;
+            params.emulators = emulators;
+            params.emulationThreads = opts.emuThreads;
+            params.degradeToSerial = opts.degradeSerial;
+            CoSimulation rig(params);
+            rig.setHeartbeat(&beat);
+            cell = opts.replayBase.empty()
+                ? runCombinedCell(rig, label, platform, opts)
+                : replayCombinedCell(rig, label, platform, opts);
+        } else {
+            const std::string name = label.substr(0, slash);
+            const std::string sub = label.substr(slash + 1);
+            if (sub == "sampled") {
+                // Isolation requires file-backed streams and plans
+                // (parseBenchArgs enforces it), so phase 1 never runs
+                // in a child and both inputs are on disk.
+                WorkloadStream ws;
+                ws.path = fsbStreamPath(opts.replayBase, name);
+                const std::string ppath = planPath(opts.planBase, name);
+                std::string perr;
+                if (!SamplingPlan::load(ppath, ws.plan, &perr)) {
+                    throw std::runtime_error("plan " + ppath + ": " +
+                                             perr);
+                }
+                ws.hasPlan = true;
+                CoSimParams params;
+                params.platform = platform;
+                params.emulators = emulators;
+                params.emulationThreads = opts.emuThreads;
+                params.degradeToSerial = opts.degradeSerial;
+                params.fsbBatchTxns = 4096;
+                CoSimulation rig(params);
+                rig.setHeartbeat(&beat);
+                cell = sampledWorkloadCell(rig, ws, name, platform,
+                                           opts);
+            } else {
+                std::size_t c = ticks.size();
+                for (std::size_t i = 0; i < ticks.size(); ++i) {
+                    if (ticks[i] == sub) {
+                        c = i;
+                        break;
+                    }
+                }
+                if (c == ticks.size()) {
+                    throw std::runtime_error("unknown cell '" + label +
+                                             "'");
+                }
+                if (opts.cells == CellMode::Replay) {
+                    WorkloadStream ws;
+                    ws.path = fsbStreamPath(opts.replayBase, name);
+                    cell = replayConfigCell(ws, name, c, emulators[c],
+                                            ticks[c], platform, opts,
+                                            &beat);
+                } else {
+                    cell = runExecCell(name, c, emulators[c], ticks[c],
+                                       platform, opts, &beat);
+                }
+            }
+        }
+
+        cell.mw.status = "ok";
+        cell.mw.attempts = 1;
+        writeFileAtomic(opts.cellResultFile,
+                        renderCellResult(cell, "cell/" + label + "/"));
+        std::exit(0);
+    } catch (const std::exception& e) {
+        // One line the parent's stderr tail turns into the cell error.
+        std::fprintf(stderr, "cosim-cell-error: %s\n", e.what());
+        std::exit(1);
+    }
+}
+
+/**
  * Exec, replay and sampled decompositions, scheduled across --jobs
  * host threads. Exec and replay run one cell per (workload,
  * configuration); replay mode first obtains a stream per workload
@@ -1076,6 +1844,7 @@ std::vector<CellOutput>
 runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
                   const std::vector<DragonheadParams>& emulators,
                   const std::vector<std::string>& ticks,
+                  const SweepLedger& ledger,
                   obs::SweepProgress* progress)
 {
     const std::size_t n_w = opts.workloads.size();
@@ -1146,9 +1915,15 @@ runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
     auto capture_task = [&](std::size_t w) {
         const std::string& name = opts.workloads[w];
         WorkloadStream ws;
+        // Phase-1 outputs live in memory (stream buffer, plan, error
+        // reference) and cannot cross a process boundary or be reloaded
+        // on resume, so these cells never journal or isolate -- the
+        // argument validation in parseBenchArgs keeps this phase off
+        // entirely under --isolate-cells / --journal by requiring
+        // file-backed streams.
         ws.base = runGuardedCell(
             name + phase1, "cell/" + name + phase1 + "/", opts,
-            progress, cap_rows[w],
+            SweepLedger{}, progress, cap_rows[w],
             [&](unsigned, obs::HeartbeatSlot* beat) {
                 ws = sampled
                     ? profileSampledStream(name, emulators.front(),
@@ -1240,7 +2015,7 @@ runPerConfigCells(const BenchOptions& opts, const PlatformParams& platform,
             return cell;
         }
         return runGuardedCell(
-            label, "cell/" + label + "/", opts, progress,
+            label, "cell/" + label + "/", opts, ledger, progress,
             cfg_rows[w * n_pc + c],
             [&, w, c](unsigned attempt_no, obs::HeartbeatSlot* beat) {
                 if (sampled) {
@@ -1337,6 +2112,13 @@ SweepRunner::runFigure(const std::string& figure_id,
             emu.cb.samplePeriodUs = opts_.samplePeriodUs;
     }
 
+    // --run-cell child re-entry: by the time the figure's parameters
+    // are fully resolved (retiming included) the child runs exactly one
+    // cell body against them and exits -- it never reaches the sweep
+    // machinery below.
+    if (!opts_.runCell.empty())
+        runCellChild(platform, emulators, ticks, opts_);
+
     FigureData figure(figure_id, "cache configuration", ticks);
 
     obs::TraceSession& trace = obs::TraceSession::global();
@@ -1379,6 +2161,87 @@ SweepRunner::runFigure(const std::string& figure_id,
         if (profile_phase)
             total_cells += n_cells;
     }
+
+    // Crash safety: the write-ahead journal, and -- when resuming --
+    // the verified results of cells an interrupted sweep already
+    // finished. A "done" journal record is only trusted after its
+    // artifact re-digests to the recorded FNV *and* parses back into a
+    // CellOutput; anything less (deleted artifact, torn write, stale
+    // "running" entry) silently re-runs the cell.
+    std::unique_ptr<SweepJournal> journal;
+    std::map<std::string, CellOutput> resumed_cells;
+    std::atomic<std::uint64_t> resume_skipped{0};
+    SweepLedger ledger;
+    if (!opts_.journalFile.empty()) {
+        const std::uint64_t config_digest =
+            sweepConfigDigest(figure_id, platform, opts_, ticks);
+        ensureOutputDir(opts_.outDir + "/cells");
+        std::uint64_t next_seq = 0;
+        const bool resuming = !opts_.resumeFrom.empty();
+        if (resuming) {
+            JournalState js;
+            std::string jerr;
+            fatal_if(!JournalState::load(opts_.resumeFrom, &js, &jerr),
+                     "resume: %s", jerr.c_str());
+            fatal_if(js.configDigest != config_digest,
+                     "resume: journal '%s' records a different sweep "
+                     "configuration (digest %llu, this run %llu); "
+                     "refusing to mix sweeps",
+                     opts_.resumeFrom.c_str(),
+                     static_cast<unsigned long long>(js.configDigest),
+                     static_cast<unsigned long long>(config_digest));
+            // Repair a torn tail before appending: the fragment of the
+            // interrupted final record must not concatenate with the
+            // first record this run writes.
+            if (opts_.journalFile == opts_.resumeFrom &&
+                ::truncate(opts_.resumeFrom.c_str(),
+                           static_cast<off_t>(js.validBytes)) != 0) {
+                fatal("resume: cannot repair journal tail '%s'",
+                      opts_.resumeFrom.c_str());
+            }
+            for (const auto& entry : js.cells) {
+                const JournalCell& jc = entry.second;
+                if (jc.state != "done" && jc.state != "skipped")
+                    continue;
+                std::uint64_t digest = 0;
+                std::uint64_t bytes = 0;
+                std::string text;
+                CellOutput cell;
+                std::string perr;
+                if (!digestFileFnv(jc.artifact, &digest, &bytes) ||
+                    digest != jc.artifactDigest ||
+                    bytes != jc.artifactBytes ||
+                    !readWholeFile(jc.artifact, &text) ||
+                    !parseCellResult(text, &cell, &perr)) {
+                    warn("resume: artifact for cell '%s' does not "
+                         "verify; re-running it",
+                         entry.first.c_str());
+                    continue;
+                }
+                resumed_cells.emplace(entry.first, std::move(cell));
+            }
+            next_seq = js.nextSeq;
+        }
+        try {
+            journal = std::make_unique<SweepJournal>(opts_.journalFile,
+                                                     next_seq);
+        } catch (const IoError& e) {
+            fatal("journal: %s", e.what());
+        }
+        if (next_seq == 0) {
+            journal->sweepPlan(figure_id, config_digest, total_cells);
+        } else {
+            journal->resumed(
+                resumed_cells.size(),
+                total_cells - std::min(total_cells,
+                                       resumed_cells.size()));
+        }
+        ledger.journal = journal.get();
+        if (resuming)
+            ledger.resumed = &resumed_cells;
+        ledger.skipped = &resume_skipped;
+    }
+
     if (progress != nullptr) {
         if (opts_.cells == CellMode::Combined) {
             // Row i is workload i; per-config modes register their own
@@ -1401,6 +2264,9 @@ SweepRunner::runFigure(const std::string& figure_id,
     manifest.seedSource = opts_.seedSource;
     manifest.configTicks = ticks;
     manifest.cellMode = toString(opts_.cells);
+    manifest.isolatedCells = opts_.isolateCells;
+    manifest.journalPath = opts_.journalFile;
+    manifest.resumed = !opts_.resumeFrom.empty();
 
     // Combined mode keeps its rigs alive to the end of the figure so
     // the unprefixed final-rig stats view stays valid.
@@ -1430,8 +2296,12 @@ SweepRunner::runFigure(const std::string& figure_id,
         // are built lazily *inside* their cell so parallel sweeps do
         // not serialise n_cells rig constructions up front -- each
         // worker thread pays for (and times) its own cell's rig.
-        const bool isolate =
-            jobs > 1 || opts_.keepGoing || opts_.retryCells > 0;
+        // Under --isolate-cells no in-process rig ever runs (the cell
+        // bodies execute in child processes), so the lazy vector stays
+        // all-null and the unprefixed final-rig stats view below is
+        // simply absent -- the per-cell prefixed stats carry the data.
+        const bool isolate = opts_.isolateCells || jobs > 1 ||
+                             opts_.keepGoing || opts_.retryCells > 0;
         if (isolate) {
             rigs.resize(n_cells); // filled per cell, inside run_cell
         } else {
@@ -1450,7 +2320,8 @@ SweepRunner::runFigure(const std::string& figure_id,
         auto run_cell = [&](std::size_t i) {
             const std::string& name = opts_.workloads[i];
             return runGuardedCell(
-                name, "cell/" + name + "/", opts_, progress.get(), i,
+                name, "cell/" + name + "/", opts_, ledger,
+                progress.get(), i,
                 [&, i](unsigned attempt_no, obs::HeartbeatSlot* beat) {
                     std::unique_ptr<CoSimulation>& rig =
                         rigs[isolate ? i : 0];
@@ -1513,7 +2384,7 @@ SweepRunner::runFigure(const std::string& figure_id,
         manifest.emulationThreads = opts_.emuThreads;
         manifest.dexThreads = opts_.dexThreads;
         cells = runPerConfigCells(opts_, platform, emulators, ticks,
-                                  progress.get());
+                                  ledger, progress.get());
     }
     manifest.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -1534,6 +2405,13 @@ SweepRunner::runFigure(const std::string& figure_id,
         progress->stop();
         if (!opts_.progressFile.empty())
             inform("progress: %s", opts_.progressFile.c_str());
+    }
+    if (journal != nullptr) {
+        std::size_t n_ok = 0;
+        std::size_t n_failed = 0;
+        for (const CellOutput& c : cells)
+            (c.failed ? n_failed : n_ok) += 1;
+        journal->sweepDone(n_ok, n_failed);
     }
 
     // Aggregate in workload order regardless of completion order, so the
@@ -1717,6 +2595,8 @@ SweepRunner::runFigure(const std::string& figure_id,
     for (const auto& p : prof.phases())
         manifest.hostPhases.push_back({p.name, p.seconds, p.calls});
     manifest.hostSimMips = prof.simulatedMips();
+    manifest.resumeSkipped =
+        resume_skipped.load(std::memory_order_relaxed);
     if (!opts_.manifestFile.empty()) {
         manifest.writeJson(opts_.manifestFile);
         inform("manifest: %s", opts_.manifestFile.c_str());

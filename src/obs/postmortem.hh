@@ -9,10 +9,12 @@
  *   {
  *     "schema": "cosim-postmortem/1",
  *     "t_us": <host clock>,
- *     "reason": "cell_failed" | "fatal",
+ *     "reason": "cell_failed" | "cell_killed" | "fatal",
  *     "cell": "<label>",          // empty outside cell context
  *     "attempt": <n>,
  *     "error": "<message>",
+ *     "signal": "SIGSEGV",        // empty unless a child was killed
+ *     "stderr_tail": "...",       // dead child's captured stderr
  *     "fault_sites": [{"site","hits","fired","armed"}, ...],
  *     "threads": [{"label", "events": [...]}, ...]
  *   }
@@ -43,10 +45,16 @@ namespace obs {
 /** What failed; everything may be empty except @p reason. */
 struct PostmortemInfo
 {
-    std::string reason; ///< "cell_failed", "fatal", ...
+    std::string reason; ///< "cell_failed", "cell_killed", "fatal", ...
     std::string cell;   ///< failing cell label, when in cell context
     unsigned attempt = 0;
     std::string error;  ///< the exception / fatal message
+    /** Decoded signal that killed an isolated cell's child process
+     * ("SIGSEGV"; "SIGKILL" for the silence watchdog); empty for
+     * in-process failures. */
+    std::string signalName;
+    /** Captured tail of the dead child's stderr. */
+    std::string stderrTail;
 };
 
 /** Render the postmortem JSON body (exposed for tests). */

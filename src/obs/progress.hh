@@ -33,9 +33,12 @@
  * Event vocabulary (all carry "seq" and "t_us"):
  *   sweep_start  figure, cells
  *   cell_start   cell, attempt
+ *   cell_spawn   cell, pid          (--isolate-cells child forked)
  *   heartbeat    cell, quanta, insts, sim_ms, mips, queue_peak
  *   cell_retry   cell, attempt, error
+ *   cell_kill    cell, pid, reason  (child shot by signal/watchdog)
  *   fault        cell, site, hit
+ *   resume_skip  cell               (--resume verified + skipped it)
  *   cell_finish  cell, status ("ok"|"failed"), wall_s [, error]
  *   sweep_finish ok, failed
  *
@@ -162,6 +165,8 @@ class HeartbeatSlot
         insts_.fetch_add(insts, std::memory_order_relaxed);
         simNs_.fetch_add(sim_ns, std::memory_order_relaxed);
         watch_.beat(now_us);
+        if (pipeFd_.load(std::memory_order_relaxed) >= 0)
+            maybePipe(now_us);
     }
 
     /** Liveness-only beat (setup phases, drain barriers). */
@@ -169,7 +174,19 @@ class HeartbeatSlot
     pulse(std::uint64_t now_us = hostClockNowUs())
     {
         watch_.beat(now_us);
+        if (pipeFd_.load(std::memory_order_relaxed) >= 0)
+            maybePipe(now_us);
     }
+
+    /**
+     * Forward beats as rate-limited one-byte writes into pipe @p fd
+     * (an isolated cell publishing liveness to its parent; see
+     * base/subprocess.hh). The fd is made non-blocking: a full pipe
+     * drops the beat rather than stalling a simulation thread, which
+     * keeps the no-blocking-I/O guarantee. At most one write per
+     * @p min_interval_us.
+     */
+    void bindPipe(int fd, std::uint64_t min_interval_us = 100000);
 
     /** Emulator-bank SPSC depth observed after a chunk was queued. */
     void
@@ -206,10 +223,17 @@ class HeartbeatSlot
     const CellWatch& watch() const { return watch_; }
 
   private:
+    /** Slow path of the pipe forwarding; out of line to keep OS
+     * headers out of this header. */
+    void maybePipe(std::uint64_t now_us);
+
     std::atomic<std::uint64_t> quanta_{0};
     std::atomic<std::uint64_t> insts_{0};
     std::atomic<std::uint64_t> simNs_{0};
     std::atomic<std::uint64_t> queuePeak_{0};
+    std::atomic<int> pipeFd_{-1};
+    std::atomic<std::uint64_t> pipeIntervalUs_{0};
+    std::atomic<std::uint64_t> lastPipeUs_{0};
     CellWatch watch_;
 };
 
@@ -268,10 +292,18 @@ class SweepProgress
     HeartbeatSlot* slot(std::size_t idx) EXCLUDES(mutex_);
 
     void cellStarted(std::size_t idx, unsigned attempt) EXCLUDES(mutex_);
+    /** An --isolate-cells child was forked for this cell. */
+    void cellSpawned(std::size_t idx, int pid) EXCLUDES(mutex_);
     void cellRetried(std::size_t idx, unsigned attempt,
                      const std::string& error) EXCLUDES(mutex_);
+    /** The child was shot (crash signal or silence watchdog). */
+    void cellKilled(std::size_t idx, int pid, const std::string& reason)
+        EXCLUDES(mutex_);
     void cellFault(std::size_t idx, const std::string& site,
                    std::uint64_t hit) EXCLUDES(mutex_);
+    /** --resume verified this cell's artifact and skipped re-running
+     * it; marks the row finished-ok. */
+    void cellResumeSkipped(std::size_t idx) EXCLUDES(mutex_);
     void cellFinished(std::size_t idx, bool ok, double wall_seconds,
                       const std::string& error) EXCLUDES(mutex_);
 

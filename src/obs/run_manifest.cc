@@ -65,6 +65,8 @@ RunManifest::toJson() const
            ", \"jobs\": " + json::number(hostJobs) +
            ", \"emulation_threads\": " + json::number(emulationThreads) +
            ", \"dex_threads\": " + json::number(dexThreads) +
+           ", \"isolated_cells\": " +
+           (isolatedCells ? "true" : "false") +
            ", \"wall_seconds\": " + json::number(wallSeconds) +
            ", \"speedup\": " + json::number(hostSpeedup) +
            ", \"phases\": [";
@@ -92,6 +94,17 @@ RunManifest::toJson() const
            ", \"bytes\": " +
            json::number(static_cast<double>(replayBytes)) +
            ", \"seconds\": " + json::number(replaySeconds) + "}},\n";
+
+    // Present only when journaling was on: which journal, whether this
+    // run resumed one, and how many cells the resume skipped. Dropped
+    // by normalized comparisons (cosim_inspect diff-run) because a
+    // resumed run legitimately differs here from its baseline.
+    if (!journalPath.empty()) {
+        out += "  \"resume\": {\"journal\": " + json::quote(journalPath) +
+               ", \"resumed\": " + (resumed ? "true" : "false") +
+               ", \"skipped\": " +
+               json::number(static_cast<double>(resumeSkipped)) + "},\n";
+    }
 
     out += "  \"workloads\": [";
     for (std::size_t i = 0; i < workloads.size(); ++i) {

@@ -153,6 +153,17 @@ struct RunManifest
     double replaySeconds = 0.0;
     /** @} */
 
+    /** @name Crash-safe sweep record (--isolate-cells / --resume) @{ */
+    /** Cells ran in forked child processes. */
+    bool isolatedCells = false;
+    /** This run resumed an interrupted sweep from its journal. */
+    bool resumed = false;
+    /** Cells whose journaled artifacts verified and were not re-run. */
+    std::uint64_t resumeSkipped = 0;
+    /** Write-ahead journal path ("" when journaling was off). */
+    std::string journalPath;
+    /** @} */
+
     /** Serialize (pretty-printed JSON, schema + buildRevision included). */
     std::string toJson() const;
 

@@ -506,6 +506,52 @@ TEST(AnalyzeSampledPlan, FilesOutsideThePlanBusinessAreFine)
         "plan-atomic-write"));
 }
 
+TEST(AnalyzeJournalAppend, RawIoFlaggedInJournalWriters)
+{
+    // A file that names the journal schema is a journal writer; its
+    // records must go through DurableAppendFile.
+    EXPECT_TRUE(hasRule(
+        rulesHit("src/harness/x.cc",
+                 "const char* kSchema = \"cosim-journal/1\";\n"
+                 "void log() { std::ofstream out(path_); }\n"),
+        "journal-atomic-append"));
+    EXPECT_TRUE(hasRule(
+        rulesHit("src/harness/x.cc",
+                 "const char* kSchema = \"cosim-journal/1\";\n"
+                 "void log() { std::FILE* f = std::fopen(p, \"a\"); }\n"),
+        "journal-atomic-append"));
+    // The plain (truncating, unsynced) appender is exactly the bug the
+    // rule exists to catch.
+    EXPECT_TRUE(hasRule(
+        rulesHit("src/harness/x.cc",
+                 "const char* kSchema = \"cosim-journal/1\";\n"
+                 "AppendFile file_(path_);\n"),
+        "journal-atomic-append"));
+}
+
+TEST(AnalyzeJournalAppend, DurableAppendAndOutsidersAreFine)
+{
+    // The blessed helper is a different identifier, not a match.
+    EXPECT_FALSE(hasRule(
+        rulesHit("src/harness/x.cc",
+                 "const char* kSchema = \"cosim-journal/1\";\n"
+                 "DurableAppendFile file_(path_);\n"),
+        "journal-atomic-append"));
+    // ofstream without the schema mention is no-raw-ofstream's
+    // business, not this rule's.
+    EXPECT_FALSE(hasRule(
+        rulesHit("src/harness/x.cc",
+                 "void log() { std::ofstream out(path_); }\n"),
+        "journal-atomic-append"));
+    // Non-src trees: tests forge corrupt journals with raw I/O on
+    // purpose, and the inspector merely reads them.
+    EXPECT_FALSE(hasRule(
+        rulesHit("tests/x.cc",
+                 "const char* kSchema = \"cosim-journal/1\";\n"
+                 "void forge() { std::ofstream out(path_); }\n"),
+        "journal-atomic-append"));
+}
+
 TEST(AnalyzeIntervalWallclock, HostClockFlaggedInSelectionCode)
 {
     // steady_clock passes the determinism group but still breaks plan
@@ -1249,6 +1295,7 @@ TEST(AnalyzeRuleTable, SuiteCoversEveryRule)
         "no-random-device", "unordered-iteration", "no-raw-new",
         "no-raw-delete",  "no-printf",       "no-raw-ofstream",
         "metric-name",    "fsb-direct-issue", "plan-atomic-write",
+        "journal-atomic-append",
         "interval-wallclock", "header-guard", "include-hygiene",
         "trailing-whitespace",
     };

@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sys/stat.h>
 
 #include "base/fault.hh"
 #include "base/units.hh"
 #include "harness/report.hh"
 #include "harness/sweep_runner.hh"
+#include "obs/json.hh"
 
 namespace cosim {
 namespace {
@@ -129,6 +131,58 @@ TEST(SweepRunner, TinyEndToEndFigure)
     EXPECT_EQ(points[0].llcSize, 4 * MiB);
     EXPECT_EQ(points[0].nCores, 2u);
     EXPECT_GT(points[0].insts, 0u);
+}
+
+TEST(SweepRunner, SampledCellRetryRebuildsTheSamplingRecord)
+{
+    // An injected throw fails the sampled cell's first attempt (hit 1
+    // is the profile cell, hit 2 the sampled cell); --retry-cells=1
+    // re-runs it on a fresh rig, and the retried attempt must rebuild
+    // the full sampled-simulation record -- estimates, error-vs-full
+    // baseline, coverage -- not just the figure row.
+    std::string dir = ::testing::TempDir() + "cosim_sampled_retry";
+    ensureOutputDir(dir);
+    BenchOptions opts;
+    opts.scale = 0.02;
+    opts.workloads = {"PLSA"};
+    opts.cells = CellMode::Sampled;
+    opts.retryCells = 1;
+    opts.samplePeriodUs = 50; // quick-style: enough windows to cluster
+    opts.outDir = dir;
+    opts.manifestFile = dir + "/run.json";
+
+    PlatformParams platform = presets::cmpPlatform("tiny", 2);
+    FigureData fig = [&] {
+        ScopedFaultPlan plan("cell.throw:nth=2");
+        SweepRunner runner(opts);
+        return runner.runCacheSizeFigure("FigRetry", platform);
+    }();
+
+    // The figure row is real data, tagged with the attempt history.
+    EXPECT_EQ(fig.status("PLSA"), "retried");
+    ASSERT_EQ(fig.series("PLSA").size(), 7u);
+
+    std::ifstream in(dir + "/run.json");
+    ASSERT_TRUE(in.good());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    obs::json::Value doc;
+    std::string error;
+    ASSERT_TRUE(obs::json::parse(text, doc, &error)) << error;
+    const obs::json::Value* workloads = doc.find("workloads");
+    ASSERT_NE(workloads, nullptr);
+    ASSERT_EQ(workloads->arr.size(), 1u);
+    const obs::json::Value& w = workloads->arr[0];
+    EXPECT_EQ(w.find("status")->str, "retried");
+    EXPECT_EQ(w.find("attempts")->num, 2.0);
+    const obs::json::Value* sampling = w.find("sampling");
+    ASSERT_NE(sampling, nullptr)
+        << "retry dropped the sampling record";
+    EXPECT_GE(sampling->find("intervals")->num, 1.0);
+    EXPECT_GT(sampling->find("coverage")->num, 0.0);
+    // The profile pass succeeded (hit 1 did not fire), so the error
+    // baseline must be present too.
+    EXPECT_NE(sampling->find("error"), nullptr);
 }
 
 } // namespace

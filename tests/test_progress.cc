@@ -241,6 +241,39 @@ TEST(SweepProgress, LifecycleEventsReachTheFileInOrder)
     std::remove(path.c_str());
 }
 
+TEST(SweepProgress, CrashSafeEventsCarryPidReasonAndCell)
+{
+    const std::string path =
+        testing::TempDir() + "sweep_progress_crash_unit.jsonl";
+    std::remove(path.c_str());
+    {
+        obs::SweepProgress::Options popts;
+        popts.file = path;
+        obs::SweepProgress progress(popts);
+        std::size_t a = progress.addCell("PLSA");
+        std::size_t b = progress.addCell("SNP");
+        progress.start();
+        progress.cellResumeSkipped(a);
+        progress.cellStarted(b, 1);
+        progress.cellSpawned(b, 4242);
+        progress.cellKilled(b, 4242, "killed by SIGSEGV");
+        progress.cellFinished(b, false, 0.25, "crashed");
+        progress.stop();
+    }
+    std::vector<Value> events = parseProgressJsonl(path);
+    const Value* skip = eventsNamed(events, "resume_skip")[0];
+    EXPECT_EQ(skip->find("cell")->str, "PLSA");
+    const Value* spawn = eventsNamed(events, "cell_spawn")[0];
+    EXPECT_EQ(spawn->find("cell")->str, "SNP");
+    EXPECT_EQ(spawn->find("pid")->num, 4242.0);
+    const Value* kill = eventsNamed(events, "cell_kill")[0];
+    EXPECT_EQ(kill->find("pid")->num, 4242.0);
+    EXPECT_EQ(kill->find("reason")->str, "killed by SIGSEGV");
+    // The stream stays densely numbered with the new vocabulary mixed
+    // in (parseProgressJsonl asserts seq density on load).
+    std::remove(path.c_str());
+}
+
 TEST(SweepProgress, InactiveWithoutTtyOrFile)
 {
     obs::SweepProgress::Options popts;

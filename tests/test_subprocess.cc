@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for base/subprocess.hh: exit/signal decoding, stdout/stderr
+ * tail capture, the silence watchdog (a chatty child survives a budget
+ * its wall time exceeds; a silent one is SIGKILLed), the heartbeat
+ * pipe, and rusage decoding. Children are /bin/sh scripts so the tests
+ * need no fixture binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include "base/subprocess.hh"
+
+namespace cosim {
+namespace {
+
+SubprocessOptions
+shell(const std::string& script)
+{
+    SubprocessOptions opts;
+    opts.argv = {"/bin/sh", "-c", script};
+    return opts;
+}
+
+TEST(Subprocess, DecodesExitCodes)
+{
+    SubprocessResult ok = runSubprocess(shell("exit 0"));
+    EXPECT_EQ(ok.end, SubprocessResult::End::Exited);
+    EXPECT_EQ(ok.exitCode, 0);
+    EXPECT_TRUE(ok.ok());
+    EXPECT_GT(ok.pid, 0);
+
+    SubprocessResult fail = runSubprocess(shell("exit 3"));
+    EXPECT_EQ(fail.end, SubprocessResult::End::Exited);
+    EXPECT_EQ(fail.exitCode, 3);
+    EXPECT_FALSE(fail.ok());
+    EXPECT_EQ(fail.describe(), "exited 3");
+}
+
+TEST(Subprocess, DecodesSignals)
+{
+    SubprocessResult r = runSubprocess(shell("kill -SEGV $$"));
+    EXPECT_EQ(r.end, SubprocessResult::End::Signaled);
+    EXPECT_EQ(r.termSignal, SIGSEGV);
+    EXPECT_EQ(r.signalName, "SIGSEGV");
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.describe(), "killed by SIGSEGV");
+}
+
+TEST(Subprocess, ExecFailureIsExit127)
+{
+    SubprocessOptions opts;
+    opts.argv = {"/no/such/binary/cosim-test"};
+    SubprocessResult r = runSubprocess(opts);
+    EXPECT_EQ(r.end, SubprocessResult::End::Exited);
+    EXPECT_EQ(r.exitCode, 127);
+}
+
+TEST(Subprocess, CapturesStreamTails)
+{
+    SubprocessResult r =
+        runSubprocess(shell("printf out-words; printf err-words >&2"));
+    EXPECT_EQ(r.stdoutTail, "out-words");
+    EXPECT_EQ(r.stderrTail, "err-words");
+}
+
+TEST(Subprocess, TailKeepsOnlyTheLastBytes)
+{
+    SubprocessOptions opts =
+        shell("i=0; while [ $i -lt 200 ]; do printf 0123456789; "
+              "i=$((i+1)); done; printf END");
+    opts.tailBytes = 64;
+    SubprocessResult r = runSubprocess(opts);
+    EXPECT_EQ(r.stdoutTail.size(), 64u);
+    EXPECT_EQ(r.stdoutTail.substr(r.stdoutTail.size() - 3), "END");
+}
+
+TEST(Subprocess, SilentChildIsKilledByTheWatchdog)
+{
+    SubprocessOptions opts = shell("sleep 30");
+    opts.silenceTimeout = 0.2;
+    SubprocessResult r = runSubprocess(opts);
+    EXPECT_EQ(r.end, SubprocessResult::End::TimedOut);
+    EXPECT_EQ(r.termSignal, SIGKILL);
+    EXPECT_FALSE(r.ok());
+    EXPECT_LT(r.wallSeconds, 10.0);
+    EXPECT_NE(r.describe().find("SIGKILLed"), std::string::npos);
+}
+
+TEST(Subprocess, ChattyChildOutlivesASmallerSilenceBudget)
+{
+    // Total wall ~0.6s against a 0.3s *silence* budget: liveness, not
+    // wall time, is what the watchdog meters.
+    SubprocessOptions opts =
+        shell("for i in 1 2 3 4 5 6; do printf .; sleep 0.1; done");
+    opts.silenceTimeout = 0.3;
+    SubprocessResult r = runSubprocess(opts);
+    EXPECT_EQ(r.end, SubprocessResult::End::Exited);
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_EQ(r.stdoutTail, "......");
+}
+
+TEST(Subprocess, HeartbeatPipeCountsBeatsAndFeedsTheCallback)
+{
+    // The fd number arrives as the appended final argument; $0 of the
+    // inner script receives it, and one byte per beat goes down it.
+    SubprocessOptions opts;
+    opts.argv = {"/bin/sh", "-c",
+                 "fd=${0#--heartbeat-fd=}; "
+                 "eval \"printf x >&$fd\"; eval \"printf y >&$fd\""};
+    opts.heartbeatPipe = true;
+    std::vector<std::uint64_t> seen;
+    opts.onHeartbeat = [&](std::uint64_t total) {
+        seen.push_back(total);
+    };
+    SubprocessResult r = runSubprocess(opts);
+    EXPECT_TRUE(r.ok()) << r.describe() << ": " << r.stderrTail;
+    EXPECT_EQ(r.heartbeats, 2u);
+    ASSERT_FALSE(seen.empty());
+    EXPECT_EQ(seen.back(), 2u);
+}
+
+TEST(Subprocess, HeartbeatBytesCountAsWatchdogActivity)
+{
+    SubprocessOptions opts;
+    opts.argv = {"/bin/sh", "-c",
+                 "fd=${0#--heartbeat-fd=}; for i in 1 2 3 4 5 6; do "
+                 "eval \"printf x >&$fd\"; sleep 0.1; done"};
+    opts.heartbeatPipe = true;
+    opts.silenceTimeout = 0.3;
+    SubprocessResult r = runSubprocess(opts);
+    EXPECT_EQ(r.end, SubprocessResult::End::Exited);
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_GE(r.heartbeats, 6u);
+}
+
+TEST(Subprocess, ReportsSpawnPidAndRusage)
+{
+    int spawned_pid = 0;
+    SubprocessOptions opts = shell("exit 0");
+    opts.onSpawn = [&](int pid) { spawned_pid = pid; };
+    SubprocessResult r = runSubprocess(opts);
+    EXPECT_EQ(spawned_pid, r.pid);
+    // Even /bin/sh has a resident set.
+    EXPECT_GT(r.maxRssKb, 0u);
+    EXPECT_GT(r.wallSeconds, 0.0);
+}
+
+TEST(SubprocessSignalName, KnownAndUnknownSignals)
+{
+    EXPECT_EQ(signalName(SIGSEGV), "SIGSEGV");
+    EXPECT_EQ(signalName(SIGKILL), "SIGKILL");
+    EXPECT_EQ(signalName(SIGABRT), "SIGABRT");
+    EXPECT_EQ(signalName(63), "SIG63");
+}
+
+} // namespace
+} // namespace cosim

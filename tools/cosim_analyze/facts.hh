@@ -54,6 +54,8 @@ struct RuleSet
     bool metricName = false;
     bool fsbDirectIssue = false; ///< DEX delivery discipline (softsdv/)
     bool planAtomicWrite = false; ///< plan writers use AtomicFile (src/)
+    bool journalAtomicAppend = false; ///< journal writers use the
+                                      ///< durable append helper (src/)
     bool intervalWallclock = false; ///< pure interval selection (trace/)
     bool headerGuard = true;
     bool includeHygiene = true;

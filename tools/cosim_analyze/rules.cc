@@ -108,6 +108,9 @@ const RuleInfo kRules[] = {
                          "DEX merge path"},
     {"plan-atomic-write", "sampling-plan writers must use AtomicFile so "
                           "a failed run never leaves a torn plan"},
+    {"journal-atomic-append", "sweep-journal records must go through "
+                              "DurableAppendFile so a crash can only "
+                              "tear the final line"},
     {"interval-wallclock", "host clock in interval-selection code; plan "
                            "generation must be pure in the sample "
                            "series and seed"},
@@ -411,6 +414,10 @@ ruleSetFor(const std::string& rel_path)
     // Sampling-plan writers anywhere in src/ must write atomically
     // (the rule itself only fires in files mentioning the schema).
     rs.planAtomicWrite = true;
+    // Journal writers must append durably. src/ only: tests forge
+    // corrupt journals with raw I/O on purpose, and the inspector
+    // merely reads them.
+    rs.journalAtomicAppend = startsWith(rel_path, "src/");
     // Interval selection must be a pure function of the sample series:
     // no host clock of any kind, steady or otherwise.
     rs.intervalWallclock = startsWith(rel_path, "src/trace/");
@@ -512,6 +519,11 @@ lintTokens(const std::string& rel_path, const std::string& content,
     const bool writes_plans =
         rules.planAtomicWrite &&
         content.find("cosim-plan/") != std::string::npos;
+    // Same gate for the write-ahead journal: the rule fires only in
+    // files that name its schema.
+    const bool writes_journal =
+        rules.journalAtomicAppend &&
+        content.find("cosim-journal/") != std::string::npos;
     bool selects_intervals = false;
     if (rules.intervalWallclock) {
         for (std::size_t i = 0; i < cv.size(); ++i) {
@@ -625,6 +637,17 @@ lintTokens(const std::string& rel_path, const std::string& content,
                    "go through AtomicFile / writeFileAtomic "
                    "(base/atomic_file.hh) so a failed run never leaves "
                    "a torn cosim-plan file for --plan to consume");
+        }
+
+        if (writes_journal &&
+            (isIdentUse(cv, i, "ofstream") || isCallOf(cv, i, "fopen") ||
+             isIdentUse(cv, i, "AppendFile"))) {
+            report("journal-atomic-append", n,
+                   "raw file I/O in a sweep-journal writer; records "
+                   "must go through DurableAppendFile "
+                   "(base/atomic_file.hh) -- O_APPEND, one write() "
+                   "per record, fdatasync -- so a crash can only "
+                   "tear the final line, which --resume discards");
         }
 
         if (selects_intervals &&
